@@ -1,0 +1,86 @@
+"""Ablation — leveraging confidence scores (Sec. 3.2, bullet 4).
+
+Claim sets whose confidences are *informative* (correct claims tend to
+carry higher confidence, as the unified criterion produces in the real
+pipeline).  Expected shape: confidence-aware fusion beats
+confidence-blind fusion on mediocre sources, and the advantage shrinks
+as confidences get noisier.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.evalx.tables import format_ratio, render_table
+from repro.fusion.confidence_weighted import GeneralizedSums
+from repro.fusion.multitruth import MultiTruth
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+
+CONFIDENCE_NOISE = [0.05, 0.15, 0.3, 0.45]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    gaps = []
+    for noise in CONFIDENCE_NOISE:
+        world = generate_claim_world(
+            ClaimWorldConfig(
+                seed=43, n_items=150, n_sources=8,
+                source_accuracies=[0.6] * 8, false_pool=3,
+                confidence_informative=True, confidence_noise=noise,
+            )
+        )
+        blind = world.precision_of(
+            MultiTruth(use_confidence=False).fuse(world.claims).truths
+        )
+        aware = world.precision_of(
+            MultiTruth(use_confidence=True).fuse(world.claims).truths
+        )
+        sums_blind = world.precision_of(
+            GeneralizedSums(use_confidence=False).fuse(world.claims).truths
+        )
+        sums_aware = world.precision_of(
+            GeneralizedSums(use_confidence=True).fuse(world.claims).truths
+        )
+        rows.append(
+            [
+                noise,
+                format_ratio(blind),
+                format_ratio(aware),
+                format_ratio(sums_blind),
+                format_ratio(sums_aware),
+            ]
+        )
+        gaps.append((noise, aware - blind, sums_aware - sums_blind))
+    return rows, gaps
+
+
+def test_ablation_confidence_report(sweep, benchmark):
+    rows, gaps = sweep
+    world = generate_claim_world(
+        ClaimWorldConfig(
+            seed=43, n_items=150, n_sources=8,
+            source_accuracies=[0.6] * 8, false_pool=3,
+            confidence_informative=True,
+        )
+    )
+    method = MultiTruth(use_confidence=True)
+    benchmark.pedantic(
+        lambda: method.fuse(world.claims), rounds=3, iterations=1
+    )
+    table = render_table(
+        [
+            "confidence noise", "multitruth blind", "multitruth aware",
+            "gensums blind", "gensums aware",
+        ],
+        rows,
+        title="Ablation: leveraging extraction confidence scores",
+    )
+    emit_report("ablation_confidence", table)
+
+    # Shape: with well-calibrated confidences, aware beats blind for
+    # the generalized fact-finder; never materially worse elsewhere.
+    assert gaps[0][2] > 0
+    for _noise, mt_gap, sums_gap in gaps:
+        assert mt_gap > -0.05
+        assert sums_gap > -0.05

@@ -1,0 +1,92 @@
+"""Ablation — hierarchical value spaces (Sec. 3.2, bullet 2).
+
+Claim sets where truths are leaves of value chains and sloppy sources
+report generalisations.  Expected shape: hierarchy-aware fusion beats
+its flat base on F1 (flat fusion treats chain values as conflicts), and
+the gap grows with the generalisation rate.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.evalx.tables import format_ratio, render_table
+from repro.fusion.accu import Accu
+from repro.fusion.hierarchy import HierarchicalFusion
+from repro.fusion.multitruth import MultiTruth
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+
+GENERALIZATION_RATES = [0.0, 0.2, 0.4, 0.6]
+
+
+def f1(world, truths):
+    precision = world.precision_of(truths)
+    recall = world.recall_of(truths)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    gaps = []
+    for rate in GENERALIZATION_RATES:
+        world = generate_claim_world(
+            ClaimWorldConfig(
+                seed=31, n_items=120, n_sources=8, hierarchical=True,
+                generalization_rate=rate,
+            )
+        )
+        flat_accu = f1(world, Accu().fuse(world.claims).truths)
+        hier_accu = f1(
+            world,
+            HierarchicalFusion(Accu(), world.hierarchy)
+            .fuse(world.claims)
+            .truths,
+        )
+        flat_multi = f1(world, MultiTruth().fuse(world.claims).truths)
+        hier_multi = f1(
+            world,
+            HierarchicalFusion(MultiTruth(), world.hierarchy)
+            .fuse(world.claims)
+            .truths,
+        )
+        rows.append(
+            [
+                rate,
+                format_ratio(flat_accu),
+                format_ratio(hier_accu),
+                format_ratio(flat_multi),
+                format_ratio(hier_multi),
+            ]
+        )
+        gaps.append((rate, hier_accu - flat_accu))
+    return rows, gaps
+
+
+def test_ablation_hierarchy_report(sweep, benchmark):
+    rows, gaps = sweep
+    world = generate_claim_world(
+        ClaimWorldConfig(seed=31, n_items=120, n_sources=8,
+                         hierarchical=True)
+    )
+    method = HierarchicalFusion(Accu(), world.hierarchy)
+    benchmark.pedantic(
+        lambda: method.fuse(world.claims), rounds=3, iterations=1
+    )
+    table = render_table(
+        [
+            "generalisation rate", "accu F1", "hier(accu) F1",
+            "multitruth F1", "hier(multitruth) F1",
+        ],
+        rows,
+        title="Ablation: hierarchical value spaces",
+    )
+    emit_report("ablation_hierarchy", table)
+
+    # Shape: hierarchy helps whenever generalised claims exist, and the
+    # advantage grows with the generalisation rate.
+    for rate, gap in gaps:
+        if rate >= 0.2:
+            assert gap > 0
+    assert gaps[-1][1] > gaps[0][1]

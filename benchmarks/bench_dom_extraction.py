@@ -1,0 +1,94 @@
+"""Algorithm 1 — DOM-tree attribute extraction.
+
+The paper gives the algorithm without numbers; this bench reports its
+behaviour on the generated website corpus: per class, the seed set
+size, the attributes recognised, precision against the ground-truth
+universe, how many were *new* (beyond the seeds), and triple precision
+of the harvested values.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.evalx.metrics import attribute_discovery_metrics, triple_precision
+from repro.evalx.tables import format_ratio, render_table
+from repro.extract.dom import DomTreeExtractor
+from repro.extract.kb import KbExtractor, combine_kb_outputs
+from repro.extract.querystream import QueryStreamExtractor
+from repro.extract.seeds import build_seed_sets
+from repro.synth.kb_snapshots import build_kb_pair
+from repro.synth.querylog import QueryLogConfig, generate_query_log
+from repro.synth.websites import WebsiteConfig, generate_websites
+
+
+@pytest.fixture(scope="module")
+def corpus(paper_world):
+    return generate_websites(
+        paper_world, WebsiteConfig(seed=23, sites_per_class=4,
+                                   pages_per_site=20)
+    )
+
+
+@pytest.fixture(scope="module")
+def seeds(paper_world):
+    freebase, dbpedia = build_kb_pair(paper_world)
+    kb_output = combine_kb_outputs(
+        [KbExtractor(freebase).extract(), KbExtractor(dbpedia).extract()]
+    )
+    log = generate_query_log(paper_world, QueryLogConfig(seed=17, scale=0.001))
+    query_output, _ = QueryStreamExtractor(
+        paper_world.entity_index()
+    ).extract(log)
+    return build_seed_sets([kb_output, query_output], paper_world.classes())
+
+
+@pytest.fixture(scope="module")
+def extraction(paper_world, seeds, corpus):
+    extractor = DomTreeExtractor(paper_world.entity_index(), seeds)
+    return extractor.extract(corpus)
+
+
+def test_algorithm1_report(paper_world, seeds, corpus, extraction, benchmark):
+    output = extraction
+    one_class_sites = [s for s in corpus if s.class_name == "Book"]
+    benchmark.pedantic(
+        lambda: DomTreeExtractor(paper_world.entity_index(), seeds).extract(
+            one_class_sites
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    rows = []
+    for class_name in paper_world.classes():
+        found = output.attribute_names(class_name)
+        gold = set(paper_world.attribute_names(class_name))
+        metrics = attribute_discovery_metrics(found, gold)
+        new = found - seeds[class_name].names()
+        rows.append(
+            [
+                class_name,
+                len(seeds[class_name]),
+                len(found),
+                len(new),
+                format_ratio(metrics.precision),
+                format_ratio(metrics.recall),
+            ]
+        )
+    class_triples = triple_precision(paper_world, output.triples)
+    rows.append(["(all) triples", "-", len(output.triples), "-",
+                 format_ratio(class_triples), "-"])
+    table = render_table(
+        ["Class", "seeds", "recognised attrs", "new attrs",
+         "precision", "recall vs universe"],
+        rows,
+        title="Algorithm 1: DOM-tree attribute extraction",
+    )
+    emit_report("algorithm1_dom", table)
+
+    # Shape: every class gains new attributes with high precision.
+    for class_name in paper_world.classes():
+        found = output.attribute_names(class_name)
+        gold = set(paper_world.attribute_names(class_name))
+        assert found - seeds[class_name].names()
+        assert attribute_discovery_metrics(found, gold).precision > 0.7
+    assert class_triples > 0.7

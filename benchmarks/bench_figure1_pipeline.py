@@ -1,0 +1,88 @@
+"""Figure 1 — the end-to-end KB-construction framework.
+
+The paper's Figure 1 is the architecture diagram; this bench drives the
+whole framework (four extractors → resolution → confidence → fusion →
+augmentation) and reports per-stage timing, per-extractor yield, fused
+quality against the gold standard, and what augmentation added to the
+Freebase snapshot.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.core.pipeline import (
+    KnowledgeBaseConstructionPipeline,
+    PipelineConfig,
+)
+from repro.evalx.tables import format_ratio, render_table
+from repro.synth.querylog import QueryLogConfig
+
+
+@pytest.fixture(scope="module")
+def run():
+    config = PipelineConfig(querylog=QueryLogConfig(seed=17, scale=0.002))
+    pipeline = KnowledgeBaseConstructionPipeline(config)
+    report = pipeline.run()
+    return pipeline, report
+
+
+def test_figure1_report(run, benchmark):
+    pipeline, report = run
+
+    # Time the fusion stage (the heart of phase 2) on the real claims.
+    from repro.fusion.knowledge_fusion import KnowledgeFusion
+
+    fusion = KnowledgeFusion(hierarchy=pipeline.world.hierarchy)
+    benchmark.pedantic(
+        lambda: fusion.fuse(pipeline.claims), rounds=3, iterations=1
+    )
+
+    stage_rows = [
+        [timing.stage, f"{timing.seconds:.2f}s", timing.detail]
+        for timing in report.timings
+    ]
+    stage_table = render_table(
+        ["Stage", "time", "detail"],
+        stage_rows,
+        title="Figure 1: pipeline stages",
+    )
+
+    extractor_rows = [
+        [
+            extractor_id,
+            report.triple_counts.get(extractor_id, 0),
+            sum(report.attribute_counts.get(extractor_id, {}).values()),
+        ]
+        for extractor_id in ("kb", "querystream", "dom", "webtext")
+    ]
+    extractor_table = render_table(
+        ["Extractor", "claims", "attributes (all classes)"],
+        extractor_rows,
+        title="Per-extractor yield",
+    )
+
+    fusion_table = render_table(
+        ["items", "precision", "recall", "F1", "new facts", "new attrs"],
+        [
+            [
+                report.fusion_report.items,
+                format_ratio(report.fusion_report.precision),
+                format_ratio(report.fusion_report.recall),
+                format_ratio(report.fusion_report.f1),
+                report.augmentation.new_facts,
+                report.augmentation.total_new_attributes(),
+            ]
+        ],
+        title="Fused knowledge vs. gold standard / KB augmentation",
+    )
+    emit_report(
+        "figure1_pipeline",
+        "\n\n".join([stage_table, extractor_table, fusion_table]),
+    )
+
+    # Shape assertions.
+    assert report.fusion_report.precision > 0.85
+    assert report.fusion_report.recall > 0.7
+    assert report.augmentation.new_facts > 0
+    assert report.augmentation.total_new_attributes() > 0
+    assert all(report.triple_counts[e] > 0 for e in ("kb", "dom", "webtext"))

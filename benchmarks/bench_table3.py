@@ -1,0 +1,86 @@
+"""Table 3 — Query Stream Extraction Results.
+
+Paper: relevant query records / credible attributes per class over a
+29.3M-record stream (Book 259,556/96; Film 403,672/59; Country
+393,244/182; University 24,633/20; Hotel 15,544/N-A).  We generate the
+stream at 1% scale and reproduce the shape: per-class relevant-record
+proportions match the paper, classes with attribute-intent queries
+yield credible attributes, and Hotel yields none (N/A).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.evalx.tables import render_table
+from repro.extract.querystream import QueryStreamExtractor
+from repro.synth.querylog import (
+    PAPER_TABLE3_RELEVANT,
+    QueryLogConfig,
+    generate_query_log,
+)
+
+SCALE = 0.01
+
+
+@pytest.fixture(scope="module")
+def stream(paper_world):
+    return generate_query_log(
+        paper_world, QueryLogConfig(seed=17, scale=SCALE)
+    )
+
+
+@pytest.fixture(scope="module")
+def extraction(paper_world, stream):
+    extractor = QueryStreamExtractor(paper_world.entity_index())
+    return extractor.extract(stream)
+
+
+def test_table3_report(paper_world, stream, extraction, benchmark):
+    output, stats = extraction
+    subset = stream[: max(1, len(stream) // 20)]
+    extractor = QueryStreamExtractor(paper_world.entity_index())
+    benchmark.pedantic(
+        lambda: extractor.extract(subset), rounds=3, iterations=1
+    )
+
+    paper_credible = {
+        "Book": "96", "Film": "59", "Country": "182",
+        "University": "20", "Hotel": "N/A",
+    }
+    rows = []
+    for class_name, paper_relevant in PAPER_TABLE3_RELEVANT.items():
+        credible = stats.credible_attributes.get(class_name, 0)
+        rows.append(
+            [
+                class_name,
+                stats.relevant_records.get(class_name, 0),
+                round(paper_relevant * SCALE),
+                credible if credible else "N/A",
+                paper_credible[class_name],
+            ]
+        )
+    table = render_table(
+        [
+            "Class", "relevant records", "paper relevant (scaled)",
+            "credible attributes", "paper credible",
+        ],
+        rows,
+        title=(
+            f"Table 3: Query Stream Extraction Results "
+            f"(stream scaled x{SCALE}, {len(stream)} records)"
+        ),
+    )
+    emit_report("table3", table)
+
+    # Shape assertions.
+    assert stats.credible_attributes.get("Hotel", 0) == 0  # the N/A row
+    for class_name in ("Book", "Film", "Country", "University"):
+        assert stats.credible_attributes.get(class_name, 0) > 0
+    # Relevant-record ordering matches the paper.
+    ours = {c: stats.relevant_records.get(c, 0) for c in PAPER_TABLE3_RELEVANT}
+    assert sorted(ours, key=ours.get) == sorted(
+        PAPER_TABLE3_RELEVANT, key=PAPER_TABLE3_RELEVANT.get
+    )
+    # Country finds the most credible attributes (as in the paper).
+    credible = stats.credible_attributes
+    assert credible["Country"] == max(credible.values())

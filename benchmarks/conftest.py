@@ -1,0 +1,30 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation DESIGN.md calls out), prints the rows, and appends them to
+``benchmarks/out/<name>.txt`` so results survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit_report(name: str, table: str) -> None:
+    """Print a benchmark table and persist it under benchmarks/out/."""
+    print()
+    print(table)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(table + "\n")
+
+
+@pytest.fixture(scope="session")
+def paper_world():
+    """A paper-scale world shared by benchmark modules."""
+    from repro.synth.world import GroundTruthWorld
+
+    return GroundTruthWorld()

@@ -1,0 +1,92 @@
+"""Algorithm 1 walk-through: DOM-tree attribute extraction.
+
+Runs the paper's algorithm on a tiny hand-written website first —
+showing induced tag-path patterns, newly recognised attributes and
+harvested values — then on the full generated corpus with quality
+numbers.
+
+Run:  python examples/dom_wrapper_induction.py
+"""
+
+from repro.evalx.metrics import attribute_discovery_metrics, triple_precision
+from repro.extract.dom import DomExtractorConfig, DomTreeExtractor
+from repro.extract.kb import KbExtractor, combine_kb_outputs
+from repro.extract.seeds import SeedSet, build_seed_sets
+from repro.rdf.ontology import Entity
+from repro.synth.kb_snapshots import build_kb_pair
+from repro.synth.websites import WebPage, Website, generate_websites
+from repro.synth.world import GroundTruthWorld
+
+
+def hand_written_demo() -> None:
+    page_html = """
+    <html><body>
+      <nav><a href="/">movies-db.example</a></nav>
+      <h1 class="title">Midnight Harbor</h1>
+      <table class="infobox">
+        <tr><th>Director</th><td>Ava Lindqvist</td></tr>
+        <tr><th>Release Date</th><td>2013-06-21</td></tr>
+        <tr><th>Running Time</th><td>128</td></tr>
+        <tr><th>Cinematographer</th><td>Noah Petrov</td></tr>
+      </table>
+    </body></html>
+    """
+    site = Website(
+        "movies-db.example", "Film", "table",
+        [WebPage("movies-db.example/p1", page_html, "film/demo",
+                 "Midnight Harbor", ())],
+    )
+    index = {
+        "midnight harbor": Entity("film/demo", "Midnight Harbor", "Film")
+    }
+    seeds = {"Film": SeedSet("Film", ["director"])}  # one seed only
+    extractor = DomTreeExtractor(
+        index, seeds, DomExtractorConfig(min_attribute_support=1)
+    )
+    output = extractor.extract([site])
+
+    print("Hand-written page, seed set = {'director'}")
+    print("  recognised attributes:",
+          sorted(output.attribute_names("Film")))
+    print("  harvested facts:")
+    for scored in output.triples:
+        triple = scored.triple
+        print(f"    ({triple.subject}, {triple.predicate}, "
+              f"{triple.obj.lexical})")
+    print("  -> 'cinematographer' was never a seed; its label node sits "
+          "on the same tag path as the seed's, so Algorithm 1 adopts it.")
+
+
+def generated_corpus_demo() -> None:
+    world = GroundTruthWorld()
+    freebase, dbpedia = build_kb_pair(world)
+    kb_output = combine_kb_outputs(
+        [KbExtractor(freebase).extract(), KbExtractor(dbpedia).extract()]
+    )
+    seeds = build_seed_sets([kb_output], world.classes())
+    corpus = generate_websites(world)
+    output = DomTreeExtractor(world.entity_index(), seeds).extract(corpus)
+
+    print("\nGenerated corpus "
+          f"({len(corpus)} sites, {sum(len(s.pages) for s in corpus)} pages)")
+    for class_name in world.classes():
+        found = output.attribute_names(class_name)
+        gold = set(world.attribute_names(class_name))
+        metrics = attribute_discovery_metrics(found, gold)
+        new = found - seeds[class_name].names()
+        print(
+            f"  {class_name:<12} {len(found):>4} attributes "
+            f"({len(new)} new beyond seeds), "
+            f"precision {metrics.precision:.3f}"
+        )
+    print(f"  value triples: {len(output.triples)}, "
+          f"precision {triple_precision(world, output.triples):.3f}")
+
+
+def main() -> None:
+    hand_written_demo()
+    generated_corpus_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Ontology augmentation from existing KBs (the Table 2 scenario).
+
+Freebase's University type ships 9 properties; DBpedia's 21.  The
+paper's first result: mining both KBs' *instance data* and combining
+the normalised attribute sets yields hundreds of attributes per class.
+This example reproduces that per-class growth and shows which concrete
+attributes each step contributed.
+
+Run:  python examples/ontology_augmentation.py
+"""
+
+from repro.extract.kb import KbExtractor, combine_kb_outputs
+from repro.synth.kb_snapshots import build_kb_pair
+from repro.synth.world import GroundTruthWorld
+
+
+def main() -> None:
+    world = GroundTruthWorld()
+    freebase, dbpedia = build_kb_pair(world)
+
+    freebase_extractor = KbExtractor(freebase)
+    dbpedia_extractor = KbExtractor(dbpedia)
+    freebase_output = freebase_extractor.extract()
+    dbpedia_output = dbpedia_extractor.extract()
+    combined = combine_kb_outputs([freebase_output, dbpedia_output])
+
+    print(f"{'Class':<12} {'DBp':>5} {'Ex(DBp)':>8} {'FB':>5} "
+          f"{'Ex(FB)':>7} {'Combined':>9}")
+    for class_name in world.classes():
+        print(
+            f"{class_name:<12} "
+            f"{len(dbpedia_extractor.schema_attribute_names(class_name)):>5} "
+            f"{dbpedia_output.attribute_count(class_name):>8} "
+            f"{len(freebase_extractor.schema_attribute_names(class_name)):>5} "
+            f"{freebase_output.attribute_count(class_name):>7} "
+            f"{combined.attribute_count(class_name):>9}"
+        )
+
+    # Drill into University, the paper's flagship class (9 -> 518).
+    class_name = "University"
+    schema = freebase_extractor.schema_attribute_names(class_name)
+    extracted = freebase_output.attribute_names(class_name)
+    gained = sorted(extracted - schema)
+    print(f"\nFreebase {class_name}: official schema ({len(schema)}):")
+    print("  " + ", ".join(sorted(schema)))
+    print(f"\nInstance mining added {len(gained)} more; first 15:")
+    print("  " + ", ".join(gained[:15]))
+
+    only_dbpedia = sorted(
+        dbpedia_output.attribute_names(class_name)
+        - freebase_output.attribute_names(class_name)
+    )
+    print(
+        f"\nCombining with DBpedia contributed another "
+        f"{len(only_dbpedia)} attributes Freebase never mentions; first 10:"
+    )
+    print("  " + ", ".join(only_dbpedia[:10]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Knowledge fusion on conflicting claims (the Sec. 3.2 scenario).
+
+Builds claim worlds exhibiting the three hazards the paper targets —
+copier cliques, hierarchical value spaces, multi-truth items — and
+compares the adapted baselines (VOTE/ACCU/POPACCU) against the
+combined KnowledgeFusion method.
+
+Run:  python examples/truth_discovery.py
+"""
+
+from repro.fusion.accu import Accu, PopAccu
+from repro.fusion.hierarchy import HierarchicalFusion
+from repro.fusion.knowledge_fusion import KnowledgeFusion
+from repro.fusion.multitruth import MultiTruth
+from repro.fusion.vote import Vote
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+
+
+def show(world, label, methods) -> None:
+    print(f"\n== {label} ==")
+    for name, method in methods:
+        result = method.fuse(world.claims)
+        precision = world.precision_of(result.truths)
+        recall = world.recall_of(result.truths)
+        print(f"  {name:<22} precision {precision:.3f}  recall {recall:.3f}")
+
+
+def main() -> None:
+    copier_world = generate_claim_world(
+        ClaimWorldConfig(seed=2, n_items=120, n_sources=8, copier_cliques=2)
+    )
+    show(
+        copier_world,
+        "Copier cliques (8 honest sources + 2 cliques of copiers)",
+        [
+            ("vote", Vote()),
+            ("accu", Accu()),
+            ("popaccu", PopAccu()),
+            ("multitruth (no corr.)", MultiTruth()),
+            ("knowledge-fusion", KnowledgeFusion()),
+        ],
+    )
+
+    hier_world = generate_claim_world(
+        ClaimWorldConfig(
+            seed=3, n_items=100, n_sources=8, hierarchical=True,
+            generalization_rate=0.4,
+        )
+    )
+    show(
+        hier_world,
+        "Hierarchical values (sources report city OR its region/country)",
+        [
+            ("accu (flat)", Accu()),
+            ("hier(accu)", HierarchicalFusion(Accu(), hier_world.hierarchy)),
+            (
+                "knowledge-fusion",
+                KnowledgeFusion(hierarchy=hier_world.hierarchy),
+            ),
+        ],
+    )
+
+    multi_world = generate_claim_world(
+        ClaimWorldConfig(
+            seed=5, n_items=100, n_sources=10, truths_per_item=2,
+            source_accuracies=[0.85] * 10,
+        )
+    )
+    show(
+        multi_world,
+        "Non-functional attributes (two true values per item)",
+        [
+            ("vote (single-truth)", Vote()),
+            ("accu (single-truth)", Accu()),
+            ("multitruth", MultiTruth()),
+            ("knowledge-fusion", KnowledgeFusion()),
+        ],
+    )
+    print(
+        "\nSingle-truth methods cap recall at ~0.5 on two-truth items; "
+        "the two-sided multi-truth model recovers both values, and the "
+        "combined method keeps that recall while staying robust to the "
+        "other two hazards."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Core: the unified confidence criterion, KB augmentation, and the
+end-to-end Figure-1 pipeline."""
+
+from repro.core.augmentation import (
+    AugmentationReport,
+    augment_kb,
+)
+from repro.core.confidence import (
+    DEFAULT_EXTRACTOR_PRIORS,
+    ConfidenceConfig,
+    ConfidenceScorer,
+)
+from repro.core.pipeline import (
+    KnowledgeBaseConstructionPipeline,
+    PipelineConfig,
+    PipelineReport,
+    StageTiming,
+)
+
+__all__ = [
+    "AugmentationReport",
+    "ConfidenceConfig",
+    "ConfidenceScorer",
+    "DEFAULT_EXTRACTOR_PRIORS",
+    "KnowledgeBaseConstructionPipeline",
+    "PipelineConfig",
+    "PipelineReport",
+    "StageTiming",
+    "augment_kb",
+]

@@ -1,0 +1,115 @@
+"""The unified confidence criterion (Sec. 3.1).
+
+The paper notes that extractors rarely share a meaningful confidence
+scale and proposes "a unified criterion" for assigning confidence to
+every triple.  The criterion implemented here combines, per triple:
+
+* **extractor prior** — how precise the producing extractor is in
+  general (existing KBs ≫ query stream ≫ DOM ≫ free text);
+* **replication support** — how many independent (source, extractor)
+  claims assert the identical triple;
+* **in-item agreement** — among all claims about the triple's data
+  item, the share that agree with this value.
+
+The three signals combine through a logistic link, yielding a score in
+``(0, 1)`` that is comparable across extractors — which is exactly what
+the downstream confidence-aware fusion needs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.extract.base import DiscoveredAttribute
+from repro.fusion.base import value_key
+from repro.rdf.triple import ScoredTriple
+
+DEFAULT_EXTRACTOR_PRIORS: dict[str, float] = {
+    "kb": 0.95,
+    "kb-load": 0.95,
+    "querystream": 0.8,
+    "dom": 0.7,
+    "webtext": 0.6,
+}
+
+
+@dataclass(slots=True)
+class ConfidenceConfig:
+    """Weights of the unified criterion."""
+
+    extractor_priors: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_EXTRACTOR_PRIORS)
+    )
+    default_prior: float = 0.5
+    bias: float = -0.4
+    prior_weight: float = 2.2
+    support_weight: float = 0.8
+    agreement_weight: float = 1.2
+
+
+class ConfidenceScorer:
+    """Assign unified confidence scores to scored triples."""
+
+    def __init__(self, config: ConfidenceConfig | None = None) -> None:
+        self.config = config or ConfidenceConfig()
+
+    def score_batch(
+        self, extractions: Iterable[ScoredTriple]
+    ) -> list[ScoredTriple]:
+        """Re-score a batch; returns new records, input order preserved."""
+        batch = list(extractions)
+        # Replication support per (triple identity, value-key) and claim
+        # totals per item.
+        replication: dict[tuple[str, str, str], set[tuple[str, str]]] = {}
+        item_totals: dict[tuple[str, str], int] = {}
+        for scored in batch:
+            triple = scored.triple
+            key = (triple.subject, triple.predicate, value_key(triple.obj.lexical))
+            replication.setdefault(key, set()).add(
+                (scored.provenance.source_id, scored.provenance.extractor_id)
+            )
+            item = triple.item
+            item_totals[item] = item_totals.get(item, 0) + 1
+
+        rescored: list[ScoredTriple] = []
+        for scored in batch:
+            triple = scored.triple
+            key = (triple.subject, triple.predicate, value_key(triple.obj.lexical))
+            support = len(replication[key])
+            agreement = (
+                support / item_totals[triple.item]
+                if item_totals[triple.item]
+                else 0.0
+            )
+            rescored.append(
+                scored.with_confidence(self.score_one(scored, support, agreement))
+            )
+        return rescored
+
+    def score_one(
+        self, scored: ScoredTriple, support: int, agreement: float
+    ) -> float:
+        """The logistic combination for one triple."""
+        cfg = self.config
+        prior = cfg.extractor_priors.get(
+            scored.provenance.extractor_id, cfg.default_prior
+        )
+        logit = (
+            cfg.bias
+            + cfg.prior_weight * (prior - 0.5) * 2.0
+            + cfg.support_weight * math.log1p(support - 1)
+            + cfg.agreement_weight * (agreement - 0.5) * 2.0
+        )
+        return 1.0 / (1.0 + math.exp(-logit))
+
+    def score_attribute(self, record: DiscoveredAttribute) -> float:
+        """Confidence for a discovered attribute: prior × support odds."""
+        cfg = self.config
+        prior = cfg.extractor_priors.get(
+            record.extractor_id, cfg.default_prior
+        )
+        support_odds = record.support / (record.support + 3.0)
+        entity_odds = record.entity_support / (record.entity_support + 2.0)
+        return prior * (0.5 * support_odds + 0.5 * entity_odds)

@@ -1,0 +1,379 @@
+"""The end-to-end KB-construction pipeline (Figure 1).
+
+Orchestrates both phases of the framework over a ground-truth world:
+
+Knowledge extraction
+    1.  build KB snapshots (Freebase + DBpedia) and extract/combine
+        their attributes and claims;
+    2.  generate the query stream and extract credible attributes;
+    3.  form per-class seed sets from the two accurate sources;
+    4.  generate websites and run the DOM extractor (Algorithm 1);
+    5.  generate Web texts and run the seed-driven text extractor;
+    6.  resolve attribute misspellings/synonyms across extractors;
+    7.  assign unified confidence scores to every triple.
+
+Knowledge fusion
+    8.  fuse all claims with the combined method (multi-truth +
+        hierarchy + correlations + confidence);
+    9.  evaluate against the world (gold standard by construction);
+    10. augment the Freebase snapshot with the fused knowledge.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.core.augmentation import AugmentationReport, augment_kb
+from repro.errors import PipelineError
+from repro.core.confidence import ConfidenceConfig, ConfidenceScorer
+from repro.entity.discovery import (
+    JointEntityResolver,
+    ResolutionOutcome,
+    resolve_mention_triples,
+)
+from repro.entity.linking import EntityLinker
+from repro.entity.resolution import (
+    AttributeResolver,
+    apply_resolution,
+    build_value_profiles,
+)
+from repro.evalx.metrics import (
+    TruthDiscoveryReport,
+    evaluate_fusion,
+    remap_subjects,
+)
+from repro.extract.base import ExtractorOutput
+from repro.extract.dom import DomExtractorConfig, DomTreeExtractor
+from repro.extract.kb import KbExtractor, combine_kb_outputs
+from repro.extract.querystream import (
+    QueryStreamConfig,
+    QueryStreamExtractor,
+    QueryStreamStats,
+)
+from repro.extract.seeds import SeedSet, build_seed_sets
+from repro.extract.webtext import WebTextExtractor, WebTextExtractorConfig
+from repro.fusion.base import ClaimSet, FusionResult
+from repro.fusion.knowledge_fusion import KnowledgeFusion
+from repro.synth.kb_snapshots import KbPairConfig, build_kb_pair
+from repro.synth.querylog import QueryLogConfig, generate_query_log
+from repro.synth.websites import WebsiteConfig, generate_websites
+from repro.synth.webtext import WebTextConfig, generate_webtext
+from repro.synth.world import GroundTruthWorld, WorldConfig
+
+
+@dataclass(slots=True)
+class PipelineConfig:
+    """All knobs of the end-to-end run."""
+
+    world: WorldConfig = field(default_factory=WorldConfig)
+    kb_pair: KbPairConfig = field(default_factory=KbPairConfig)
+    querylog: QueryLogConfig = field(default_factory=QueryLogConfig)
+    querystream: QueryStreamConfig = field(default_factory=QueryStreamConfig)
+    websites: WebsiteConfig = field(default_factory=WebsiteConfig)
+    webtext: WebTextConfig = field(default_factory=WebTextConfig)
+    dom: DomExtractorConfig = field(default_factory=DomExtractorConfig)
+    webtext_extractor: WebTextExtractorConfig = field(
+        default_factory=WebTextExtractorConfig
+    )
+    confidence: ConfidenceConfig = field(default_factory=ConfidenceConfig)
+    seed_min_support: int = 1
+    # New-entity creation (Sec. 3.1): when on, Set_E is still the
+    # Freebase snapshot's entity sets, but pages naming unknown
+    # entities harvest mention facts, and joint resolution links or
+    # clusters them into new entities before fusion.
+    discover_new_entities: bool = False
+    # Functional/non-functional handling: "schema" uses the world
+    # catalogs' functional flags; "estimated" derives functionality
+    # degrees from the claims (repro.fusion.functionality) — the
+    # unsupervised option the paper's Sec. 1 calls for.
+    functionality_source: str = "schema"
+    use_hierarchy: bool = True
+    use_source_correlations: bool = True
+    use_extractor_correlations: bool = True
+    use_confidence: bool = True
+    resolve_attributes: bool = True
+
+
+@dataclass(slots=True)
+class StageTiming:
+    """Wall-clock seconds of one pipeline stage."""
+
+    stage: str
+    seconds: float
+    detail: str = ""
+
+
+@dataclass(slots=True)
+class PipelineReport:
+    """Everything an end-to-end run produced."""
+
+    timings: list[StageTiming] = field(default_factory=list)
+    seed_sizes: dict[str, int] = field(default_factory=dict)
+    query_stats: QueryStreamStats | None = None
+    attribute_counts: dict[str, dict[str, int]] = field(default_factory=dict)
+    triple_counts: dict[str, int] = field(default_factory=dict)
+    fusion_result: FusionResult | None = None
+    fusion_report: TruthDiscoveryReport | None = None
+    augmentation: AugmentationReport | None = None
+    entity_resolution: ResolutionOutcome | None = None
+
+    def total_seconds(self) -> float:
+        return sum(timing.seconds for timing in self.timings)
+
+
+class KnowledgeBaseConstructionPipeline:
+    """Run the whole Figure-1 framework over one world."""
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        world: GroundTruthWorld | None = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.world = world or GroundTruthWorld(self.config.world)
+        # Populated by run():
+        self.freebase = None
+        self.dbpedia = None
+        self.outputs: dict[str, ExtractorOutput] = {}
+        self.seeds: dict[str, SeedSet] = {}
+        self.claims: ClaimSet | None = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> PipelineReport:
+        report = PipelineReport()
+        world = self.world
+        cfg = self.config
+
+        # -- 1. KB snapshots + extraction --------------------------------
+        with _timed(report, "kb-extraction") as timing:
+            self.freebase, self.dbpedia = build_kb_pair(world, cfg.kb_pair)
+            freebase_output = KbExtractor(self.freebase).extract()
+            dbpedia_output = KbExtractor(self.dbpedia).extract()
+            kb_output = combine_kb_outputs([freebase_output, dbpedia_output])
+            self.outputs["kb"] = kb_output
+            timing.detail = f"{len(kb_output.triples)} claims"
+
+        entity_index = self._set_e_index()
+
+        # -- 2. Query stream ---------------------------------------------
+        with _timed(report, "query-stream") as timing:
+            log = generate_query_log(world, cfg.querylog)
+            extractor = QueryStreamExtractor(
+                entity_index, cfg.querystream
+            )
+            query_output, query_stats = extractor.extract(log)
+            self.outputs["querystream"] = query_output
+            report.query_stats = query_stats
+            timing.detail = f"{len(log)} records"
+
+        # -- 3. Seed sets --------------------------------------------------
+        self.seeds = build_seed_sets(
+            [kb_output, query_output],
+            world.classes(),
+            min_support=cfg.seed_min_support,
+        )
+        report.seed_sizes = {
+            class_name: len(seed) for class_name, seed in self.seeds.items()
+        }
+
+        # -- 4. DOM extraction ---------------------------------------------
+        with _timed(report, "dom-extraction") as timing:
+            sites = generate_websites(world, cfg.websites)
+            dom_config = cfg.dom
+            if cfg.discover_new_entities:
+                dom_config = replace(dom_config, allow_mention_anchors=True)
+            dom_extractor = DomTreeExtractor(
+                entity_index, self.seeds, dom_config
+            )
+            dom_output = dom_extractor.extract(sites)
+            self.outputs["dom"] = dom_output
+            timing.detail = f"{len(dom_output.triples)} claims"
+
+        # -- 5. Web-text extraction ----------------------------------------
+        with _timed(report, "webtext-extraction") as timing:
+            documents = generate_webtext(world, cfg.webtext)
+            text_extractor = WebTextExtractor(
+                entity_index,
+                self.seeds,
+                kb_output.triples,
+                cfg.webtext_extractor,
+            )
+            text_extractor.learn(documents)
+            text_output = text_extractor.extract(documents)
+            self.outputs["webtext"] = text_output
+            timing.detail = f"{len(text_output.triples)} claims"
+
+        all_triples = [
+            scored
+            for output in self.outputs.values()
+            for scored in output.triples
+        ]
+
+        # -- 5b. Joint entity linking + discovery ---------------------------
+        if cfg.discover_new_entities:
+            with _timed(report, "entity-resolution") as timing:
+                resolver = JointEntityResolver(EntityLinker(entity_index))
+                all_triples, outcome = resolve_mention_triples(
+                    all_triples, dom_extractor.mention_classes, resolver
+                )
+                report.entity_resolution = outcome
+                timing.detail = (
+                    f"{len(outcome.linked)} linked, "
+                    f"{len(outcome.clusters)} new entities"
+                )
+
+        # -- 6. Attribute resolution ---------------------------------------
+        if cfg.resolve_attributes:
+            with _timed(report, "attribute-resolution") as timing:
+                all_triples = self._resolve_attributes(all_triples)
+                timing.detail = f"{len(all_triples)} claims"
+
+        # -- 7. Confidence scoring ----------------------------------------
+        with _timed(report, "confidence") as timing:
+            scorer = ConfidenceScorer(cfg.confidence)
+            all_triples = scorer.score_batch(all_triples)
+            for output in self.outputs.values():
+                for per_class in output.attributes.values():
+                    for record in per_class.values():
+                        record.confidence = scorer.score_attribute(record)
+            timing.detail = f"{len(all_triples)} claims"
+
+        for extractor_id, output in self.outputs.items():
+            report.attribute_counts[extractor_id] = {
+                class_name: output.attribute_count(class_name)
+                for class_name in world.classes()
+            }
+            report.triple_counts[extractor_id] = len(output.triples)
+
+        # -- 8. Fusion -----------------------------------------------------
+        with _timed(report, "fusion") as timing:
+            self.claims = ClaimSet.from_scored_triples(all_triples)
+            if cfg.functionality_source == "estimated":
+                from repro.fusion.functionality import (
+                    functional_oracle_from_claims,
+                )
+
+                functional_of = functional_oracle_from_claims(self.claims)
+            elif cfg.functionality_source == "schema":
+                functional_of = self._functional_oracle()
+            else:
+                raise PipelineError(
+                    "functionality_source must be 'schema' or 'estimated', "
+                    f"got {cfg.functionality_source!r}"
+                )
+            fusion = KnowledgeFusion(
+                hierarchy=world.hierarchy if cfg.use_hierarchy else None,
+                functional_of=functional_of,
+                use_source_correlations=cfg.use_source_correlations,
+                use_extractor_correlations=cfg.use_extractor_correlations,
+                use_confidence=cfg.use_confidence,
+            )
+            result = fusion.fuse(self.claims)
+            report.fusion_result = result
+            timing.detail = (
+                f"{len(self.claims)} claims, {len(result.truths)} items"
+            )
+
+        # -- 9. Evaluation --------------------------------------------------
+        with _timed(report, "evaluation"):
+            evaluated = result
+            if report.entity_resolution is not None:
+                # Resolve discovered-entity ids back to gold identities
+                # (evaluation-only knowledge: the cluster names refer to
+                # real world entities that were absent from Set_E).
+                gold_index = world.entity_index()
+                mapping: dict[str, str] = {}
+                for cluster in report.entity_resolution.clusters:
+                    for surface in cluster.surfaces:
+                        entity = gold_index.get(surface.lower())
+                        if entity is not None:
+                            mapping[cluster.cluster_id] = entity.entity_id
+                            break
+                evaluated = remap_subjects(result, mapping)
+            report.fusion_report = evaluate_fusion(world, evaluated)
+
+        # -- 10. Augmentation ------------------------------------------------
+        with _timed(report, "augmentation") as timing:
+            discovered_entities = (
+                report.entity_resolution.new_entities()
+                if report.entity_resolution is not None
+                else None
+            )
+            report.augmentation = augment_kb(
+                self.freebase,
+                list(self.outputs.values()),
+                result,
+                self.claims,
+                class_of_subject=self._class_of_subject,
+                new_entities=discovered_entities,
+            )
+            timing.detail = (
+                f"{report.augmentation.new_facts} facts, "
+                f"{report.augmentation.total_new_attributes()} attributes, "
+                f"{report.augmentation.new_entities} entities"
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    def _set_e_index(self):
+        """Set_E: representative entities of the Freebase snapshot."""
+        index: dict[str, object] = {}
+        for view in self.freebase.classes.values():
+            for entity in view.entities:
+                for form in entity.surface_forms():
+                    index.setdefault(form.lower(), entity)
+        return index
+
+    def _class_of_subject(self, subject: str) -> str | None:
+        parts = subject.split("/")
+        head = parts[1] if parts[0] == "new" and len(parts) > 1 else parts[0]
+        for class_name in self.world.classes():
+            if head == class_name.lower():
+                return class_name
+        return None
+
+    def _functional_oracle(self):
+        functional: dict[str, bool] = {}
+        for class_name in self.world.classes():
+            for spec in self.world.catalogs[class_name].attributes:
+                functional.setdefault(spec.name, spec.functional)
+        return lambda predicate: functional.get(predicate, False)
+
+    def _resolve_attributes(self, triples):
+        profiles_by_class: dict[str, dict[str, set]] = {}
+        support_by_class: dict[str, dict[str, int]] = {}
+        for output in self.outputs.values():
+            for class_name, per_class in output.attributes.items():
+                support = support_by_class.setdefault(class_name, {})
+                for name, record in per_class.items():
+                    support[name] = support.get(name, 0) + record.support
+        profiles = build_value_profiles(triples)
+        resolutions = {}
+        for class_name, support in support_by_class.items():
+            class_profiles = {
+                name: profile
+                for name, profile in profiles.items()
+                if name in support
+            }
+            resolutions[class_name] = AttributeResolver(
+                class_name, support, class_profiles
+            ).run()
+        return apply_resolution(triples, resolutions, self._class_of_subject)
+
+
+class _timed:
+    """Context manager recording a stage timing into a report."""
+
+    def __init__(self, report: PipelineReport, stage: str) -> None:
+        self.report = report
+        self.timing = StageTiming(stage, 0.0)
+
+    def __enter__(self) -> StageTiming:
+        self._start = time.perf_counter()
+        return self.timing
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.timing.seconds = time.perf_counter() - self._start
+        if exc_type is None:
+            self.report.timings.append(self.timing)

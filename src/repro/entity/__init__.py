@@ -1,0 +1,37 @@
+"""Entity layer: linking, joint discovery, attribute resolution."""
+
+from repro.entity.discovery import (
+    EntityCluster,
+    JointEntityResolver,
+    MentionRecord,
+    ResolutionOutcome,
+    resolve_mention_triples,
+)
+from repro.entity.linking import (
+    EntityLinker,
+    LinkDecision,
+    is_mention,
+    mention_subject,
+)
+from repro.entity.resolution import (
+    AttributeResolution,
+    AttributeResolver,
+    apply_resolution,
+    build_value_profiles,
+)
+
+__all__ = [
+    "AttributeResolution",
+    "AttributeResolver",
+    "EntityCluster",
+    "EntityLinker",
+    "JointEntityResolver",
+    "LinkDecision",
+    "MentionRecord",
+    "ResolutionOutcome",
+    "apply_resolution",
+    "build_value_profiles",
+    "is_mention",
+    "mention_subject",
+    "resolve_mention_triples",
+]

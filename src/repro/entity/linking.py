@@ -1,0 +1,125 @@
+"""Entity linking: mentions → known entities.
+
+Extractors produce entity *mentions* (surface strings).  The linker
+maps a mention to an existing entity of the ontology when one matches
+well enough — exact (normalised) surface match first, then fuzzy
+matching over names and aliases — and reports the rest as unlinked, to
+be handed to new-entity discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rdf.ontology import Entity
+from repro.textproc.normalize import normalize_name
+from repro.textproc.similarity import name_similarity
+
+MENTION_PREFIX = "mention:"
+
+_CONNECTIVES = frozenset({"of", "the", "a", "an", "in", "for"})
+
+
+def surface_similarity(left: str, right: str) -> float:
+    """Similarity between two entity surfaces for linking/clustering.
+
+    Extends :func:`name_similarity` with token-set reasoning on content
+    words: a permutation ("Adelaide University" ~ "University of
+    Adelaide") scores 0.9 and a containment ("Atlantis" ⊆ "Republic of
+    Atlantis") scores 0.85 — both common co-reference shapes.
+    """
+    left_norm = normalize_name(left)
+    right_norm = normalize_name(right)
+    left_tokens = {t for t in left_norm.split() if t not in _CONNECTIVES}
+    right_tokens = {t for t in right_norm.split() if t not in _CONNECTIVES}
+    score = name_similarity(left_norm, right_norm)
+    if left_tokens and left_tokens == right_tokens:
+        return max(score, 0.9)
+    if left_tokens and right_tokens and (
+        left_tokens <= right_tokens or right_tokens <= left_tokens
+    ):
+        return max(score, 0.85)
+    return score
+
+
+def _link_similarity(left: str, right: str) -> float:
+    return surface_similarity(left, right)
+
+
+def mention_subject(surface: str) -> str:
+    """The subject id used for an unlinked mention."""
+    return MENTION_PREFIX + normalize_name(surface)
+
+
+def is_mention(subject: str) -> bool:
+    """Is a triple subject an unlinked mention id?"""
+    return subject.startswith(MENTION_PREFIX)
+
+
+@dataclass(frozen=True, slots=True)
+class LinkDecision:
+    """Outcome of linking one mention."""
+
+    surface: str
+    entity: Entity | None
+    score: float
+
+    @property
+    def linked(self) -> bool:
+        return self.entity is not None
+
+
+class EntityLinker:
+    """Match mention surfaces against an entity index.
+
+    Parameters
+    ----------
+    entity_index:
+        Surface form → entity (from
+        :meth:`repro.rdf.ontology.Ontology.entity_index`).
+    min_similarity:
+        Fuzzy-match acceptance threshold; matches below it stay
+        unlinked.
+    """
+
+    def __init__(
+        self,
+        entity_index: dict[str, Entity],
+        *,
+        min_similarity: float = 0.88,
+    ) -> None:
+        self._exact = {
+            normalize_name(surface): entity
+            for surface, entity in entity_index.items()
+        }
+        self.min_similarity = min_similarity
+        # Fuzzy candidates bucketed by class for optional restriction.
+        self._by_class: dict[str, list[tuple[str, Entity]]] = {}
+        for surface, entity in self._exact.items():
+            self._by_class.setdefault(entity.class_name, []).append(
+                (surface, entity)
+            )
+
+    def link(self, surface: str, class_name: str | None = None) -> LinkDecision:
+        """Link one mention; optionally restricted to a class."""
+        normalized = normalize_name(surface)
+        exact = self._exact.get(normalized)
+        if exact is not None and (
+            class_name is None or exact.class_name == class_name
+        ):
+            return LinkDecision(surface, exact, 1.0)
+        best: Entity | None = None
+        best_score = 0.0
+        if class_name is None:
+            candidates = [
+                pair for pairs in self._by_class.values() for pair in pairs
+            ]
+        else:
+            candidates = self._by_class.get(class_name, [])
+        for candidate_surface, entity in candidates:
+            score = _link_similarity(normalized, candidate_surface)
+            if score > best_score:
+                best, best_score = entity, score
+        if best is not None and best_score >= self.min_similarity:
+            return LinkDecision(surface, best, best_score)
+        return LinkDecision(surface, None, best_score)

@@ -1,0 +1,206 @@
+"""Attribute resolution: misspellings, synonyms and sub-attributes.
+
+The fusion phase "identifies the misspellings, synonyms, and
+sub-attributes" among extracted attribute names (Sec. 3).  The resolver
+builds a mapping ``variant → canonical`` per class:
+
+* **misspellings** — small edit distance to a better-supported name;
+* **synonyms** — token permutations ("date of publication" ↔
+  "publication date", minus connective words) and qualifier wrappers
+  added by noisy sources ("official publisher" → "publisher",
+  "price of record" → "price");
+* **value-profile merges** — two names whose observed
+  (entity, value) pairs largely coincide describe the same attribute
+  even when their surfaces differ;
+* **sub-attributes** — a name that *extends* another by a specialising
+  modifier ("main library" vs "library") is recorded as a child, not
+  merged: its facts remain valid but more specific.
+
+Resolution always maps lower-supported variants onto higher-supported
+canonicals, so a typo never absorbs the true spelling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.rdf.triple import ScoredTriple, Triple
+from repro.textproc.normalize import is_probable_misspelling
+
+# Qualifier wrappers that noisy sources prepend/append to a base name.
+_QUALIFIER_PREFIXES = ("official", "total", "overall")
+_QUALIFIER_SUFFIXES = ("of record",)
+
+# Specialising modifiers marking a sub-attribute rather than a synonym.
+_SUBATTRIBUTE_MODIFIERS = (
+    "main", "first", "largest", "oldest", "primary", "famous",
+)
+
+_CONNECTIVES = frozenset({"of", "the", "a", "an", "in", "for"})
+
+
+@dataclass(slots=True)
+class AttributeResolution:
+    """The resolver's verdict for one class."""
+
+    class_name: str
+    canonical_map: dict[str, str] = field(default_factory=dict)
+    sub_attributes: dict[str, str] = field(default_factory=dict)  # child -> parent
+
+    def resolve(self, name: str) -> str:
+        """Canonical name for a possibly-variant attribute name."""
+        return self.canonical_map.get(name, name)
+
+
+def _content_tokens(name: str) -> frozenset[str]:
+    return frozenset(
+        token for token in name.split(" ") if token not in _CONNECTIVES
+    )
+
+
+def _strip_qualifiers(name: str) -> str:
+    for prefix in _QUALIFIER_PREFIXES:
+        if name.startswith(prefix + " ") and len(name) > len(prefix) + 1:
+            return name[len(prefix) + 1 :]
+    for suffix in _QUALIFIER_SUFFIXES:
+        if name.endswith(" " + suffix) and len(name) > len(suffix) + 1:
+            return name[: -(len(suffix) + 1)]
+    return name
+
+
+def _specialising_parent(name: str) -> str | None:
+    """The parent name when ``name`` is a sub-attribute, else None."""
+    for modifier in _SUBATTRIBUTE_MODIFIERS:
+        if name.startswith(modifier + " ") and len(name) > len(modifier) + 1:
+            return name[len(modifier) + 1 :]
+    return None
+
+
+class AttributeResolver:
+    """Resolve attribute-name variants for one class.
+
+    Parameters
+    ----------
+    support:
+        Canonical name → evidence support; higher support wins merges.
+    value_profiles:
+        Optional name → set of (subject, value) pairs from extracted
+        triples; used for profile-based merging.
+    """
+
+    def __init__(
+        self,
+        class_name: str,
+        support: dict[str, int],
+        value_profiles: dict[str, set[tuple[str, str]]] | None = None,
+        *,
+        profile_jaccard: float = 0.5,
+    ) -> None:
+        self.class_name = class_name
+        self.support = dict(support)
+        self.value_profiles = value_profiles or {}
+        self.profile_jaccard = profile_jaccard
+
+    def run(self) -> AttributeResolution:
+        resolution = AttributeResolution(self.class_name)
+        names = sorted(
+            self.support, key=lambda name: (-self.support[name], name)
+        )
+        self._tokens_cache = {name: _content_tokens(name) for name in names}
+        # Names already accepted as canonical, in support order.
+        canonical: list[str] = []
+        for name in names:
+            target = self._find_target(name, canonical)
+            if target is None:
+                parent = _specialising_parent(name)
+                if parent is not None and parent in self.support:
+                    resolution.sub_attributes[name] = parent
+                canonical.append(name)
+            else:
+                resolution.canonical_map[name] = target
+        return resolution
+
+    # ------------------------------------------------------------------
+    def _find_target(self, name: str, canonical: list[str]) -> str | None:
+        """The canonical name this variant should merge into, if any."""
+        stripped = _strip_qualifiers(name)
+        tokens = self._tokens_cache[name]
+        profile = self.value_profiles.get(name)
+        name_len = len(name)
+        for target in canonical:
+            if stripped == target:
+                return target  # qualifier wrapper
+            if tokens and tokens == self._tokens_cache[target]:
+                return target  # token permutation ("date of publication")
+            if abs(name_len - len(target)) <= 2 and is_probable_misspelling(
+                name, target, normalized=True
+            ):
+                return target
+            if profile and self._profiles_match(profile, target):
+                return target
+        return None
+
+    def _profiles_match(
+        self, profile: set[tuple[str, str]], target: str
+    ) -> bool:
+        other = self.value_profiles.get(target)
+        if not other:
+            return False
+        union = len(profile | other)
+        if union == 0:
+            return False
+        # Containment-leaning Jaccard: a low-support variant whose
+        # profile sits inside the canonical's profile should merge.
+        overlap = len(profile & other)
+        smaller = min(len(profile), len(other))
+        return (
+            overlap / union >= self.profile_jaccard
+            or (smaller > 0 and overlap / smaller >= 0.8 and overlap >= 3)
+        )
+
+
+def build_value_profiles(
+    triples: Iterable[ScoredTriple],
+) -> dict[str, set[tuple[str, str]]]:
+    """Name → set of (subject, casefolded value) pairs across claims."""
+    profiles: dict[str, set[tuple[str, str]]] = {}
+    for scored in triples:
+        triple = scored.triple
+        profiles.setdefault(triple.predicate, set()).add(
+            (triple.subject, triple.obj.lexical.casefold())
+        )
+    return profiles
+
+
+def apply_resolution(
+    triples: Iterable[ScoredTriple],
+    resolutions: dict[str, AttributeResolution],
+    class_of_subject,
+) -> list[ScoredTriple]:
+    """Rewrite triple predicates through per-class resolutions.
+
+    ``class_of_subject`` maps a subject id to its class name (or None
+    when unknown — such triples pass through unchanged).
+    """
+    rewritten: list[ScoredTriple] = []
+    for scored in triples:
+        class_name = class_of_subject(scored.triple.subject)
+        resolution = resolutions.get(class_name) if class_name else None
+        if resolution is None:
+            rewritten.append(scored)
+            continue
+        predicate = resolution.resolve(scored.triple.predicate)
+        if predicate == scored.triple.predicate:
+            rewritten.append(scored)
+        else:
+            rewritten.append(
+                ScoredTriple(
+                    Triple(
+                        scored.triple.subject, predicate, scored.triple.obj
+                    ),
+                    scored.provenance,
+                    scored.confidence,
+                )
+            )
+    return rewritten

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one base class at API
+boundaries without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class OntologyError(ReproError):
+    """Raised for inconsistent ontology definitions or lookups."""
+
+
+class HierarchyError(ReproError):
+    """Raised for malformed value hierarchies (e.g. cycles)."""
+
+
+class StoreError(ReproError):
+    """Raised for invalid triple-store operations."""
+
+
+class ParseError(ReproError):
+    """Raised when HTML or a pattern expression cannot be parsed."""
+
+
+class ExtractionError(ReproError):
+    """Raised when an extractor is misconfigured or its input is invalid."""
+
+
+class FusionError(ReproError):
+    """Raised when a fusion method receives invalid claims or parameters."""
+
+
+class PipelineError(ReproError):
+    """Raised when the end-to-end pipeline is configured inconsistently."""
+
+
+class GenerationError(ReproError):
+    """Raised when a synthetic-data generator receives invalid parameters."""

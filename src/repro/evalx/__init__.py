@@ -1,0 +1,24 @@
+"""Evaluation: gold-standard metrics and report tables."""
+
+from repro.evalx.metrics import (
+    PrecisionRecall,
+    TruthDiscoveryReport,
+    attribute_discovery_metrics,
+    evaluate_fusion,
+    remap_subjects,
+    triple_precision,
+    true_value_keys,
+)
+from repro.evalx.tables import format_ratio, render_table
+
+__all__ = [
+    "PrecisionRecall",
+    "TruthDiscoveryReport",
+    "attribute_discovery_metrics",
+    "evaluate_fusion",
+    "remap_subjects",
+    "format_ratio",
+    "render_table",
+    "triple_precision",
+    "true_value_keys",
+]

@@ -1,0 +1,41 @@
+"""Plain-text table rendering for benchmark reports.
+
+Benchmarks print the same rows the paper's tables report; this module
+renders aligned ASCII tables without any dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(row: Sequence[str]) -> str:
+        return " | ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(row)
+        )
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(line(row) for row in cells)
+    return "\n".join(parts)
+
+
+def format_ratio(value: float, *, digits: int = 3) -> str:
+    """Format a ratio/score for table cells."""
+    return f"{value:.{digits}f}"

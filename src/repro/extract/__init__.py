@@ -1,0 +1,33 @@
+"""Knowledge extractors: existing KBs, query stream, DOM trees, Web texts."""
+
+from repro.extract.base import DiscoveredAttribute, ExtractorOutput
+from repro.extract.dom import DomExtractorConfig, DomTreeExtractor
+from repro.extract.kb import (
+    KbExtractor,
+    canonicalize_kb_name,
+    combine_kb_outputs,
+)
+from repro.extract.querystream import (
+    QueryStreamConfig,
+    QueryStreamExtractor,
+    QueryStreamStats,
+)
+from repro.extract.seeds import SeedSet, build_seed_sets
+from repro.extract.webtext import WebTextExtractor, WebTextExtractorConfig
+
+__all__ = [
+    "DiscoveredAttribute",
+    "DomExtractorConfig",
+    "DomTreeExtractor",
+    "ExtractorOutput",
+    "KbExtractor",
+    "QueryStreamConfig",
+    "QueryStreamExtractor",
+    "QueryStreamStats",
+    "SeedSet",
+    "WebTextExtractor",
+    "WebTextExtractorConfig",
+    "build_seed_sets",
+    "canonicalize_kb_name",
+    "combine_kb_outputs",
+]

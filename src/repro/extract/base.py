@@ -1,0 +1,95 @@
+"""Shared extractor types.
+
+Phase one of the framework produces two kinds of output (Sec. 3.1):
+
+* **discovered attributes** per class (new attribute discovery — what
+  Tables 2 and 3 count), and
+* **scored triples** (new facts with provenance and confidence) that
+  feed the knowledge-fusion phase.
+
+Both are carried in an :class:`ExtractorOutput`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rdf.triple import ScoredTriple
+
+
+@dataclass(slots=True)
+class DiscoveredAttribute:
+    """One attribute discovered for a class by one extractor.
+
+    ``name`` is canonical (via
+    :func:`repro.textproc.normalize.normalize_attribute`);
+    ``support`` counts evidence occurrences; ``entity_support`` counts
+    the distinct entities the evidence spanned; ``sources`` are the Web
+    sources/KBs that exhibited the attribute.
+    """
+
+    name: str
+    class_name: str
+    extractor_id: str
+    support: int = 1
+    entity_support: int = 1
+    sources: set[str] = field(default_factory=set)
+    confidence: float = 0.0
+
+    def merge_evidence(
+        self, support: int, entity_support: int, sources: set[str]
+    ) -> None:
+        """Fold additional evidence into this record."""
+        self.support += support
+        self.entity_support = max(self.entity_support, entity_support)
+        self.sources |= sources
+
+
+@dataclass(slots=True)
+class ExtractorOutput:
+    """Everything one extractor produced.
+
+    ``attributes`` maps class name → discovered attributes (keyed lists,
+    one record per canonical attribute name); ``triples`` are scored
+    fact claims for fusion.
+    """
+
+    extractor_id: str
+    attributes: dict[str, dict[str, DiscoveredAttribute]] = field(
+        default_factory=dict
+    )
+    triples: list[ScoredTriple] = field(default_factory=list)
+
+    def add_attribute(
+        self,
+        class_name: str,
+        name: str,
+        *,
+        support: int = 1,
+        entity_support: int = 1,
+        sources: set[str] | None = None,
+    ) -> DiscoveredAttribute:
+        """Record (or reinforce) a discovered attribute."""
+        per_class = self.attributes.setdefault(class_name, {})
+        record = per_class.get(name)
+        evidence_sources = set(sources or ())
+        if record is None:
+            record = DiscoveredAttribute(
+                name=name,
+                class_name=class_name,
+                extractor_id=self.extractor_id,
+                support=support,
+                entity_support=entity_support,
+                sources=evidence_sources,
+            )
+            per_class[name] = record
+        else:
+            record.merge_evidence(support, entity_support, evidence_sources)
+        return record
+
+    def attribute_names(self, class_name: str) -> set[str]:
+        """Canonical attribute names discovered for a class."""
+        return set(self.attributes.get(class_name, {}))
+
+    def attribute_count(self, class_name: str) -> int:
+        return len(self.attributes.get(class_name, {}))

@@ -1,0 +1,75 @@
+"""Seed-set management.
+
+The framework bootstraps Web extraction with *seeds*: attributes first
+extracted from the accurate sources (existing KBs and the query
+stream), per class.  ``SEED_SET(T)`` in Algorithm 1 is exactly such a
+set; the DOM extractor both consumes and *enriches* it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.extract.base import ExtractorOutput
+from repro.textproc.normalize import normalize_attribute
+
+
+class SeedSet:
+    """A per-class, growable set of canonical attribute names."""
+
+    def __init__(self, class_name: str, names: Iterable[str] = ()) -> None:
+        self.class_name = class_name
+        self._names: set[str] = set()
+        for name in names:
+            self.add(name)
+
+    def add(self, name: str) -> bool:
+        """Add a (canonicalised) attribute name; True when new."""
+        canonical = normalize_attribute(name)
+        if not canonical or canonical in self._names:
+            return False
+        self._names.add(canonical)
+        return True
+
+    def __contains__(self, name: str) -> bool:
+        return normalize_attribute(name) in self._names
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self):
+        return iter(sorted(self._names))
+
+    def names(self) -> set[str]:
+        return set(self._names)
+
+    def copy(self) -> "SeedSet":
+        clone = SeedSet(self.class_name)
+        clone._names = set(self._names)
+        return clone
+
+
+def build_seed_sets(
+    outputs: Iterable[ExtractorOutput],
+    class_names: Iterable[str],
+    *,
+    min_support: int = 1,
+) -> dict[str, SeedSet]:
+    """Combine extractor outputs into per-class seed sets.
+
+    Attributes whose total support (across extractors) falls below
+    ``min_support`` are excluded: seeds must be trustworthy because the
+    DOM extractor generalises from them.
+    """
+    outputs = list(outputs)
+    seeds: dict[str, SeedSet] = {}
+    for class_name in class_names:
+        support: dict[str, int] = {}
+        for output in outputs:
+            for name, record in output.attributes.get(class_name, {}).items():
+                support[name] = support.get(name, 0) + record.support
+        seeds[class_name] = SeedSet(
+            class_name,
+            (name for name, total in support.items() if total >= min_support),
+        )
+    return seeds

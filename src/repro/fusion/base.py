@@ -1,0 +1,163 @@
+"""Fusion claim model and method interface.
+
+Knowledge fusion works on *claims*: a (Web source, extractor) pair
+asserting a value for a data item ``(subject, predicate)``.  Claims are
+derived from scored triples; values are compared by a case-folded key
+so formatting variants of the same value agree.
+
+Every fusion method consumes a :class:`ClaimSet` and returns a
+:class:`FusionResult` mapping each item to its decided truths with
+belief scores.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import FusionError
+from repro.rdf.triple import ScoredTriple
+
+Item = tuple[str, str]  # (subject, predicate)
+
+
+def value_key(lexical: str) -> str:
+    """Canonical comparison key for a claimed value."""
+    return " ".join(lexical.split()).casefold()
+
+
+@dataclass(frozen=True, slots=True)
+class Claim:
+    """One source's assertion of one value for one item."""
+
+    item: Item
+    value: str  # canonical value key
+    lexical: str  # a representative original surface
+    source_id: str
+    extractor_id: str
+    confidence: float = 1.0
+
+
+class ClaimSet:
+    """Indexed collection of claims.
+
+    Deduplicates identical (item, value, source, extractor) claims,
+    keeping the maximum confidence.
+    """
+
+    def __init__(self, claims: Iterable[Claim] = ()) -> None:
+        self._claims: dict[tuple[Item, str, str, str], Claim] = {}
+        self._by_item: dict[Item, dict[str, list[Claim]]] = {}
+        self._stale = False
+        for claim in claims:
+            self.add(claim)
+
+    def add(self, claim: Claim) -> None:
+        key = (claim.item, claim.value, claim.source_id, claim.extractor_id)
+        existing = self._claims.get(key)
+        if existing is not None and existing.confidence >= claim.confidence:
+            return
+        self._claims[key] = claim
+        self._stale = True
+
+    def _reindex(self) -> None:
+        if not self._stale:
+            return
+        self._by_item = {}
+        for claim in self._claims.values():
+            self._by_item.setdefault(claim.item, {}).setdefault(
+                claim.value, []
+            ).append(claim)
+        self._stale = False
+
+    def __len__(self) -> int:
+        return len(self._claims)
+
+    def __iter__(self):
+        return iter(list(self._claims.values()))
+
+    def items(self) -> list[Item]:
+        self._reindex()
+        return list(self._by_item)
+
+    def values_of(self, item: Item) -> dict[str, list[Claim]]:
+        """Value key → claims asserting it, for one item."""
+        self._reindex()
+        return self._by_item.get(item, {})
+
+    def sources(self) -> set[str]:
+        return {claim.source_id for claim in self._claims.values()}
+
+    def extractors(self) -> set[str]:
+        return {claim.extractor_id for claim in self._claims.values()}
+
+    def sources_claiming(self, item: Item) -> set[str]:
+        """Sources that assert *any* value for an item."""
+        return {
+            claim.source_id
+            for claims in self.values_of(item).values()
+            for claim in claims
+        }
+
+    @staticmethod
+    def from_scored_triples(triples: Iterable[ScoredTriple]) -> "ClaimSet":
+        """Build a claim set from extractor output."""
+        claims = ClaimSet()
+        for scored in triples:
+            triple = scored.triple
+            claims.add(
+                Claim(
+                    item=triple.item,
+                    value=value_key(triple.obj.lexical),
+                    lexical=triple.obj.lexical,
+                    source_id=scored.provenance.source_id,
+                    extractor_id=scored.provenance.extractor_id,
+                    confidence=scored.confidence,
+                )
+            )
+        return claims
+
+
+@dataclass(slots=True)
+class FusionResult:
+    """Decided truths and beliefs of one fusion run."""
+
+    method: str
+    truths: dict[Item, set[str]] = field(default_factory=dict)
+    belief: dict[tuple[Item, str], float] = field(default_factory=dict)
+    source_quality: dict[str, float] = field(default_factory=dict)
+    iterations: int = 0
+
+    def is_true(self, item: Item, value: str) -> bool:
+        return value in self.truths.get(item, set())
+
+    def decided_items(self) -> list[Item]:
+        return list(self.truths)
+
+    def belief_of(self, item: Item, value: str) -> float:
+        return self.belief.get((item, value), 0.0)
+
+
+class FusionMethod(abc.ABC):
+    """Interface shared by every truth-discovery / fusion method."""
+
+    name: str = "fusion"
+
+    @abc.abstractmethod
+    def fuse(self, claims: ClaimSet) -> FusionResult:
+        """Resolve conflicts and return decided truths."""
+
+    def _check_nonempty(self, claims: ClaimSet) -> None:
+        if len(claims) == 0:
+            raise FusionError(f"{self.name}: empty claim set")
+
+
+def normalize_beliefs(beliefs: dict[str, float]) -> dict[str, float]:
+    """Scale a value→belief map so the maximum is 1 (empty-safe)."""
+    if not beliefs:
+        return {}
+    top = max(beliefs.values())
+    if top <= 0:
+        return {value: 0.0 for value in beliefs}
+    return {value: score / top for value, score in beliefs.items()}

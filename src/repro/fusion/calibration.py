@@ -1,0 +1,136 @@
+"""Gold-standard calibration of initial source quality.
+
+Dong et al.'s knowledge-fusion adaptation — which the paper builds on —
+improves the baselines by "making use of the gold standard to calculate
+more accurate initial quality values of the data sources, rather than
+simply setting some default values".  This module reproduces that
+improvement: given a (small) labelled subset of items, it estimates
+per-source accuracy (and sensitivity/specificity) with Laplace
+smoothing, producing the ``initial_accuracies`` input of
+:class:`repro.fusion.accu.Accu` or priors for
+:class:`repro.fusion.multitruth.MultiTruth`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import FusionError
+from repro.fusion.base import ClaimSet, Item
+
+TruthOracle = Callable[[Item, str], bool]
+
+
+@dataclass(frozen=True, slots=True)
+class SourceCalibration:
+    """Calibrated per-source quality estimates."""
+
+    accuracy: dict[str, float]
+    sensitivity: dict[str, float]
+    specificity: dict[str, float]
+    labeled_items: int
+
+
+def calibrate_sources(
+    claims: ClaimSet,
+    oracle: TruthOracle,
+    *,
+    label_fraction: float = 0.1,
+    max_labels: int = 500,
+    seed: int = 0,
+    smoothing: float = 1.0,
+) -> SourceCalibration:
+    """Estimate source quality from a labelled sample of items.
+
+    Parameters
+    ----------
+    oracle:
+        ``(item, value_key) -> is that value true?`` — the gold
+        standard (in experiments, the ground-truth world).
+    label_fraction / max_labels:
+        How much gold standard to spend: a random fraction of items,
+        capped.  Real deployments label little; the default 10% mirrors
+        that.
+    smoothing:
+        Laplace pseudo-count anchoring sparse sources at 0.5.
+    """
+    if not 0 < label_fraction <= 1:
+        raise FusionError("label_fraction must lie in (0, 1]")
+    items = claims.items()
+    if not items:
+        raise FusionError("cannot calibrate on an empty claim set")
+    rng = random.Random(seed)
+    sample_size = min(max_labels, max(1, round(len(items) * label_fraction)))
+    labeled = set(rng.sample(items, min(sample_size, len(items))))
+
+    correct: dict[str, float] = {}
+    total: dict[str, float] = {}
+    claimed_true: dict[str, float] = {}
+    true_exposures: dict[str, float] = {}
+    silent_false: dict[str, float] = {}
+    false_exposures: dict[str, float] = {}
+
+    for item in labeled:
+        values = claims.values_of(item)
+        covering = claims.sources_claiming(item)
+        for value, value_claims in values.items():
+            truth = oracle(item, value)
+            claimers = {claim.source_id for claim in value_claims}
+            for source in covering:
+                if truth:
+                    true_exposures[source] = true_exposures.get(source, 0) + 1
+                    if source in claimers:
+                        claimed_true[source] = (
+                            claimed_true.get(source, 0) + 1
+                        )
+                else:
+                    false_exposures[source] = (
+                        false_exposures.get(source, 0) + 1
+                    )
+                    if source not in claimers:
+                        silent_false[source] = (
+                            silent_false.get(source, 0) + 1
+                        )
+            for source in claimers:
+                total[source] = total.get(source, 0) + 1
+                if truth:
+                    correct[source] = correct.get(source, 0) + 1
+
+    def smoothed(numerators: dict, denominators: dict, source: str) -> float:
+        return (numerators.get(source, 0) + smoothing * 0.5) / (
+            denominators.get(source, 0) + smoothing
+        )
+
+    sources = claims.sources()
+    return SourceCalibration(
+        accuracy={s: smoothed(correct, total, s) for s in sources},
+        sensitivity={
+            s: smoothed(claimed_true, true_exposures, s) for s in sources
+        },
+        specificity={
+            s: smoothed(silent_false, false_exposures, s) for s in sources
+        },
+        labeled_items=len(labeled),
+    )
+
+
+def world_oracle(world) -> TruthOracle:
+    """A truth oracle backed by a ground-truth world."""
+    from repro.evalx.metrics import true_value_keys
+
+    def oracle(item: Item, value: str) -> bool:
+        subject, predicate = item
+        return value in true_value_keys(world, subject, predicate)
+
+    return oracle
+
+
+def claim_world_oracle(claim_world) -> TruthOracle:
+    """A truth oracle backed by a synthetic claim world."""
+
+    def oracle(item: Item, value: str) -> bool:
+        return value in claim_world.expanded_truths(item)
+
+    return oracle

@@ -1,0 +1,178 @@
+"""Hierarchical value-space reasoning for fusion (Sec. 3.2, bullet 2).
+
+The paper observes that existing fusion treats values at different
+abstraction levels as conflicting, although ``(Susie Fang, birth place,
+China)`` and ``(Susie Fang, birth place, Wuhan)`` are both true.  This
+module wraps any base fusion method with hierarchy awareness:
+
+1. **claim expansion** — a claim of a specific value also (virtually)
+   claims each of its generalisations, with confidence decayed per
+   level, so related values support rather than fight each other;
+2. **specialisation** — after the base method decides, the winner is
+   refined to the most specific observed value on its chain whose
+   belief stays within a ratio of the winner's;
+3. **chain truths** — the decided truth set contains the winning value
+   plus its observed generalisations (they are all true).
+"""
+
+from __future__ import annotations
+
+from repro.fusion.base import (
+    Claim,
+    ClaimSet,
+    FusionMethod,
+    FusionResult,
+    value_key,
+)
+from repro.rdf.hierarchy import ValueHierarchy
+
+
+class CasefoldHierarchy:
+    """A :class:`ValueHierarchy` view keyed by casefolded value keys."""
+
+    def __init__(self, hierarchy: ValueHierarchy) -> None:
+        self._parent: dict[str, str] = {}
+        for node in hierarchy:
+            parent = hierarchy.parent(node)
+            if parent is not None:
+                self._parent[value_key(node)] = value_key(parent)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._parent or key in set(self._parent.values())
+
+    def ancestors(self, key: str) -> list[str]:
+        out: list[str] = []
+        current = self._parent.get(key)
+        seen: set[str] = set()
+        while current is not None and current not in seen:
+            out.append(current)
+            seen.add(current)
+            current = self._parent.get(current)
+        return out
+
+    def chain(self, key: str) -> list[str]:
+        return [key, *self.ancestors(key)]
+
+    def depth(self, key: str) -> int:
+        return len(self.ancestors(key))
+
+    def on_same_chain(self, left: str, right: str) -> bool:
+        return (
+            left == right
+            or left in self.ancestors(right)
+            or right in self.ancestors(left)
+        )
+
+
+class HierarchicalFusion(FusionMethod):
+    """Hierarchy-aware wrapper around any base fusion method.
+
+    Parameters
+    ----------
+    base:
+        The underlying method (ACCU, multi-truth, ...).
+    hierarchy:
+        The value hierarchy (e.g. locations).
+    decay:
+        Confidence decay per generalisation level for virtual claims.
+    specialize_share:
+        A more specific observed value replaces the winner when the
+        share of the chain's direct source support it holds reaches
+        this fraction.  Direct support (who actually asserted the exact
+        value) is used rather than base beliefs because iterative
+        methods produce winner-take-all belief distributions.
+    """
+
+    def __init__(
+        self,
+        base: FusionMethod,
+        hierarchy: ValueHierarchy,
+        *,
+        decay: float = 0.9,
+        specialize_share: float = 0.25,
+    ) -> None:
+        if not 0 < decay <= 1:
+            raise ValueError("decay must lie in (0, 1]")
+        if not 0 < specialize_share <= 1:
+            raise ValueError("specialize_share must lie in (0, 1]")
+        self.base = base
+        self.hierarchy = CasefoldHierarchy(hierarchy)
+        self.decay = decay
+        self.specialize_share = specialize_share
+        self.name = f"hier({base.name})"
+
+    # ------------------------------------------------------------------
+    def fuse(self, claims: ClaimSet) -> FusionResult:
+        self._check_nonempty(claims)
+        expanded = self._expand(claims)
+        result = self.base.fuse(expanded)
+        return self._specialize(claims, result)
+
+    # ------------------------------------------------------------------
+    def _expand(self, claims: ClaimSet) -> ClaimSet:
+        """Add virtual generalisation claims for hierarchical values."""
+        expanded = ClaimSet()
+        for claim in claims:
+            expanded.add(claim)
+            confidence = claim.confidence
+            for ancestor in self.hierarchy.ancestors(claim.value):
+                confidence *= self.decay
+                expanded.add(
+                    Claim(
+                        item=claim.item,
+                        value=ancestor,
+                        lexical=ancestor,
+                        source_id=claim.source_id,
+                        extractor_id=claim.extractor_id,
+                        confidence=confidence,
+                    )
+                )
+        return expanded
+
+    def _specialize(
+        self, original: ClaimSet, result: FusionResult
+    ) -> FusionResult:
+        """Refine winners to the most specific well-supported value."""
+        refined = FusionResult(self.name)
+        refined.iterations = result.iterations
+        refined.source_quality = result.source_quality
+        refined.belief = dict(result.belief)
+        for item in original.items():
+            values = original.values_of(item)
+            support = {
+                value: len({claim.source_id for claim in claims})
+                for value, claims in values.items()
+            }
+            truths: set[str] = set()
+            for winner in result.truths.get(item, set()):
+                chain_members = [
+                    value
+                    for value in support
+                    if self.hierarchy.on_same_chain(value, winner)
+                ]
+                if not chain_members:
+                    truths.add(winner)
+                    continue
+                chain_support = sum(support[value] for value in chain_members)
+                best = winner
+                for value in sorted(
+                    chain_members,
+                    key=lambda v: (-self.hierarchy.depth(v), v),
+                ):
+                    if (
+                        self.hierarchy.depth(value)
+                        <= self.hierarchy.depth(winner)
+                        and value != winner
+                    ):
+                        continue
+                    if support[value] >= self.specialize_share * chain_support:
+                        best = value
+                        break
+                # The winner's chain is jointly true; report the
+                # specific winner plus its observed generalisations.
+                truths.add(best)
+                for ancestor in self.hierarchy.ancestors(best):
+                    if ancestor in support:
+                        truths.add(ancestor)
+            refined.truths[item] = truths
+        return refined

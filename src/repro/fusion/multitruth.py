@@ -1,0 +1,223 @@
+"""Multi-truth Bayesian fusion (two-sided source quality).
+
+Following Zhao et al.'s insight (PVLDB'12) that the paper adopts for
+non-functional attributes: when an item can have *several* true values,
+a single per-source accuracy is the wrong model — a source can be
+precise yet incomplete.  Each source therefore carries
+
+* **sensitivity** (recall): the chance it asserts a value that is true,
+* **specificity**: the chance it stays silent on a value that is false,
+
+and each candidate value is judged independently by posterior odds:
+
+``odds(v) = prior_odds · Π_s  L_s(v)``
+
+where, over sources that cover the item, a source claiming ``v``
+contributes ``sens_s / (1 - spec_s)`` and a covering source silent on
+``v`` contributes ``(1 - sens_s) / spec_s``.  Values with posterior
+probability above a threshold are truths — one, several, or none per
+item.  Quality parameters are re-estimated from the decisions until
+convergence (a scalable hard-EM in place of the paper's Gibbs
+sampling).
+
+Optional hooks used by the paper's combined method:
+
+* ``source_weights`` — exponents damping the likelihood ratios of
+  correlated sources (a clique of copiers counts roughly once);
+* ``use_confidence`` — claims enter as soft evidence: the likelihood
+  ratio is tempered by the claim's extraction confidence.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import FusionError
+from repro.fusion.base import ClaimSet, FusionMethod, FusionResult, Item
+
+
+class MultiTruth(FusionMethod):
+    """Two-sided (sensitivity/specificity) multi-truth fusion."""
+
+    name = "multitruth"
+
+    def __init__(
+        self,
+        *,
+        prior: float = 0.3,
+        threshold: float = 0.5,
+        initial_sensitivity: float = 0.7,
+        initial_specificity: float = 0.9,
+        source_weights: dict[str, float] | None = None,
+        use_confidence: bool = False,
+        max_iterations: int = 20,
+        tolerance: float = 1e-4,
+        floor: float = 0.02,
+    ) -> None:
+        if not 0 < prior < 1:
+            raise FusionError("prior must lie in (0, 1)")
+        if not 0 < threshold < 1:
+            raise FusionError("threshold must lie in (0, 1)")
+        self.prior = prior
+        self.threshold = threshold
+        self.initial_sensitivity = initial_sensitivity
+        self.initial_specificity = initial_specificity
+        self.source_weights = dict(source_weights or {})
+        self.use_confidence = use_confidence
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.floor = floor
+
+    # ------------------------------------------------------------------
+    def fuse(self, claims: ClaimSet) -> FusionResult:
+        self._check_nonempty(claims)
+        sensitivity = {
+            source: self.initial_sensitivity for source in claims.sources()
+        }
+        specificity = {
+            source: self.initial_specificity for source in claims.sources()
+        }
+        posterior: dict[tuple[Item, str], float] = {}
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            posterior = self._posteriors(claims, sensitivity, specificity)
+            new_sensitivity, new_specificity = self._estimate_quality(
+                claims, posterior
+            )
+            delta = max(
+                max(
+                    abs(new_sensitivity[s] - sensitivity[s])
+                    for s in sensitivity
+                ),
+                max(
+                    abs(new_specificity[s] - specificity[s])
+                    for s in specificity
+                ),
+            )
+            sensitivity, specificity = new_sensitivity, new_specificity
+            if delta < self.tolerance:
+                break
+
+        result = FusionResult(self.name)
+        result.iterations = iterations
+        result.belief = posterior
+        result.source_quality = {
+            source: (sensitivity[source] + specificity[source]) / 2.0
+            for source in sensitivity
+        }
+        for item in claims.items():
+            values = claims.values_of(item)
+            decided = {
+                value
+                for value in values
+                if posterior[(item, value)] >= self.threshold
+            }
+            if not decided:
+                # Never return an empty answer: keep the best value.
+                decided = {
+                    min(
+                        values,
+                        key=lambda value: (-posterior[(item, value)], value),
+                    )
+                }
+            result.truths[item] = decided
+        return result
+
+    # ------------------------------------------------------------------
+    def _clamp(self, probability: float) -> float:
+        return min(max(probability, self.floor), 1.0 - self.floor)
+
+    def _posteriors(
+        self,
+        claims: ClaimSet,
+        sensitivity: dict[str, float],
+        specificity: dict[str, float],
+    ) -> dict[tuple[Item, str], float]:
+        prior_logodds = math.log(self.prior / (1.0 - self.prior))
+        posterior: dict[tuple[Item, str], float] = {}
+        for item in claims.items():
+            values = claims.values_of(item)
+            covering = claims.sources_claiming(item)
+            for value, value_claims in values.items():
+                claimers: dict[str, float] = {}
+                for claim in value_claims:
+                    confidence = (
+                        claim.confidence if self.use_confidence else 1.0
+                    )
+                    claimers[claim.source_id] = max(
+                        claimers.get(claim.source_id, 0.0), confidence
+                    )
+                logodds = prior_logodds
+                for source in covering:
+                    sens = self._clamp(sensitivity[source])
+                    spec = self._clamp(specificity[source])
+                    weight = self.source_weights.get(source, 1.0)
+                    if source in claimers:
+                        ratio = math.log(sens / (1.0 - spec))
+                        # Temper by confidence: a low-confidence claim is
+                        # weak evidence either way.
+                        logodds += weight * claimers[source] * ratio
+                    else:
+                        logodds += weight * math.log((1.0 - sens) / spec)
+                posterior[(item, value)] = 1.0 / (1.0 + math.exp(-logodds))
+        return posterior
+
+    def _estimate_quality(
+        self,
+        claims: ClaimSet,
+        posterior: dict[tuple[Item, str], float],
+    ) -> tuple[dict[str, float], dict[str, float]]:
+        # Soft counts per source: claimed-true / all-true (sensitivity)
+        # and silent-false / all-false (specificity), over covered items.
+        # Specificity is only informed by *contested* items (at least
+        # two distinct candidate values): on a single-candidate item a
+        # claimant is never silent, so counting it would drive the
+        # estimate to zero on sparse data.  Pseudo-counts anchored at
+        # the initial values keep thin evidence from collapsing either
+        # parameter.
+        claimed_true: dict[str, float] = {}
+        covered_true: dict[str, float] = {}
+        silent_false: dict[str, float] = {}
+        covered_false: dict[str, float] = {}
+        for item in claims.items():
+            values = claims.values_of(item)
+            covering = claims.sources_claiming(item)
+            contested = len(values) >= 2
+            for value, value_claims in values.items():
+                probability = posterior[(item, value)]
+                claimers = {claim.source_id for claim in value_claims}
+                for source in covering:
+                    covered_true[source] = (
+                        covered_true.get(source, 0.0) + probability
+                    )
+                    if contested:
+                        covered_false[source] = (
+                            covered_false.get(source, 0.0)
+                            + (1.0 - probability)
+                        )
+                    if source in claimers:
+                        claimed_true[source] = (
+                            claimed_true.get(source, 0.0) + probability
+                        )
+                    elif contested:
+                        silent_false[source] = (
+                            silent_false.get(source, 0.0)
+                            + (1.0 - probability)
+                        )
+        smoothing = 2.0
+        sensitivity: dict[str, float] = {}
+        specificity: dict[str, float] = {}
+        for source in claims.sources():
+            truths = covered_true.get(source, 0.0)
+            falses = covered_false.get(source, 0.0)
+            sensitivity[source] = self._clamp(
+                (claimed_true.get(source, 0.0)
+                 + smoothing * self.initial_sensitivity)
+                / (truths + smoothing)
+            )
+            specificity[source] = self._clamp(
+                (silent_false.get(source, 0.0)
+                 + smoothing * self.initial_specificity)
+                / (falses + smoothing)
+            )
+        return sensitivity, specificity

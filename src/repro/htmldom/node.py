@@ -1,0 +1,147 @@
+"""DOM node model.
+
+A deliberately small DOM: element nodes with a tag, attributes and
+children, plus text nodes.  This is everything Algorithm 1 needs — the
+DOM extractor only walks trees, reads text nodes, and computes tag
+paths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+
+class DomNode:
+    """Common base for element and text nodes."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self) -> None:
+        self.parent: ElementNode | None = None
+
+    def root(self) -> "DomNode":
+        node: DomNode = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+
+class TextNode(DomNode):
+    """A text leaf."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        super().__init__()
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = self.text if len(self.text) <= 30 else self.text[:27] + "..."
+        return f"TextNode({preview!r})"
+
+
+class ElementNode(DomNode):
+    """An element with a tag name, attributes and ordered children."""
+
+    __slots__ = ("tag", "attrs", "children")
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: dict[str, str] | None = None,
+        children: list[DomNode] | None = None,
+    ) -> None:
+        super().__init__()
+        self.tag = tag.lower()
+        self.attrs: dict[str, str] = dict(attrs or {})
+        self.children: list[DomNode] = []
+        for child in children or []:
+            self.append(child)
+
+    def append(self, child: DomNode) -> DomNode:
+        """Attach ``child`` as the last child and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def append_text(self, text: str) -> TextNode:
+        """Convenience: append and return a new text node."""
+        node = TextNode(text)
+        self.append(node)
+        return node
+
+    def append_element(
+        self, tag: str, attrs: dict[str, str] | None = None
+    ) -> "ElementNode":
+        """Convenience: append and return a new element node."""
+        node = ElementNode(tag, attrs)
+        self.append(node)
+        return node
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def iter_nodes(self) -> Iterator[DomNode]:
+        """Depth-first pre-order walk, including self."""
+        stack: list[DomNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, ElementNode):
+                stack.extend(reversed(node.children))
+
+    def iter_elements(self, tag: str | None = None) -> Iterator["ElementNode"]:
+        """All descendant elements (including self), optionally by tag."""
+        for node in self.iter_nodes():
+            if isinstance(node, ElementNode):
+                if tag is None or node.tag == tag.lower():
+                    yield node
+
+    def iter_text_nodes(self) -> Iterator[TextNode]:
+        """All descendant text nodes whose text is non-blank."""
+        for node in self.iter_nodes():
+            if isinstance(node, TextNode) and node.text.strip():
+                yield node
+
+    def text_content(self) -> str:
+        """Concatenated, whitespace-normalised text of the subtree."""
+        parts = [node.text.strip() for node in self.iter_text_nodes()]
+        return " ".join(part for part in parts if part)
+
+    def find(self, tag: str) -> "ElementNode | None":
+        """First descendant element with the given tag, else None."""
+        for element in self.iter_elements(tag):
+            if element is not self:
+                return element
+        return None
+
+    def find_all(self, tag: str) -> list["ElementNode"]:
+        """All descendant elements with the given tag (excluding self)."""
+        return [el for el in self.iter_elements(tag) if el is not self]
+
+    def get(self, attr: str, default: str = "") -> str:
+        """Attribute value with a default."""
+        return self.attrs.get(attr, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ElementNode(<{self.tag}>, {len(self.children)} children)"
+
+
+class Document(ElementNode):
+    """Root of a parsed HTML document (a synthetic ``#document`` element)."""
+
+    def __init__(self) -> None:
+        super().__init__("#document")
+
+    @property
+    def html(self) -> ElementNode | None:
+        """The top-level <html> element when present."""
+        for child in self.children:
+            if isinstance(child, ElementNode) and child.tag == "html":
+                return child
+        return None
+
+    @property
+    def body(self) -> ElementNode | None:
+        """The <body> element when present."""
+        return self.find("body")

@@ -1,0 +1,41 @@
+"""DOM serialisation back to HTML markup."""
+
+from __future__ import annotations
+
+from html import escape
+
+from repro.htmldom.node import DomNode, ElementNode, TextNode
+from repro.htmldom.tokenizer import VOID_ELEMENTS
+
+
+def to_html(node: DomNode) -> str:
+    """Serialise a DOM subtree to HTML markup.
+
+    Text is entity-escaped; void elements render without end tags; the
+    synthetic ``#document`` root renders only its children.
+    """
+    parts: list[str] = []
+    _serialize(node, parts)
+    return "".join(parts)
+
+
+def _serialize(node: DomNode, parts: list[str]) -> None:
+    if isinstance(node, TextNode):
+        parts.append(escape(node.text, quote=False))
+        return
+    assert isinstance(node, ElementNode)
+    if node.tag == "#document":
+        for child in node.children:
+            _serialize(child, parts)
+        return
+    attrs = "".join(
+        f' {name}="{escape(value, quote=True)}"'
+        for name, value in node.attrs.items()
+    )
+    if node.tag in VOID_ELEMENTS and not node.children:
+        parts.append(f"<{node.tag}{attrs}/>")
+        return
+    parts.append(f"<{node.tag}{attrs}>")
+    for child in node.children:
+        _serialize(child, parts)
+    parts.append(f"</{node.tag}>")

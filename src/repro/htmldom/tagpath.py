@@ -1,0 +1,182 @@
+"""Tag paths and tag-path similarity.
+
+Algorithm 1 of the paper works on *tag paths*: the sequence of element
+tags from the document root down to a text node.  The paths between an
+entity node and a seed-attribute node are induced into a pattern set,
+after "removal of noisy tags"; other nodes whose paths are *similar* to
+an induced pattern are recognised as new attributes.
+
+Two notions are provided:
+
+* :func:`absolute_path` — root-to-node tag sequence;
+* :func:`relative_path` — the structural relation between two nodes,
+  expressed as the tag sequence climbing from the first node to their
+  lowest common ancestor and descending to the second node.  This is
+  what "tag path between E and A" means operationally: it is invariant
+  to where the pair sits in the page, which lets a pattern learned from
+  one (entity, seed) pair transfer to sibling records on the same page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.htmldom.node import DomNode, ElementNode
+
+# Purely presentational tags the paper removes as noise before
+# comparing tag paths.
+NOISY_TAGS = frozenset(
+    {"b", "i", "em", "strong", "span", "font", "u", "small", "sup", "sub"}
+)
+
+
+def _ancestor_elements(node: DomNode) -> list[ElementNode]:
+    """Elements from the root down to (and excluding) the node itself."""
+    chain: list[ElementNode] = []
+    current = node.parent
+    while current is not None:
+        if current.tag != "#document":
+            chain.append(current)
+        current = current.parent
+    chain.reverse()
+    return chain
+
+
+def _tag_label(element: ElementNode, with_classes: bool) -> str:
+    """The path label of one element: ``tag`` or ``tag.first-class``.
+
+    Including the first CSS class disambiguates structurally identical
+    positions (``div.key`` vs ``div.val``), which real-world wrapper
+    induction also relies on.
+    """
+    if with_classes:
+        class_attr = element.attrs.get("class", "").split()
+        if class_attr:
+            return f"{element.tag}.{class_attr[0]}"
+    return element.tag
+
+
+def _is_noisy(label: str) -> bool:
+    return label.split(".", 1)[0] in NOISY_TAGS
+
+
+def absolute_path(
+    node: DomNode, *, clean: bool = True, with_classes: bool = False
+) -> tuple[str, ...]:
+    """Root-to-node tag sequence.
+
+    For an element node the sequence includes the node's own tag; for a
+    text node it ends at the enclosing element.  With ``clean=True``
+    (the default, matching the paper) noisy formatting tags are removed.
+    With ``with_classes=True`` each label carries the element's first
+    CSS class (``div.key``).
+    """
+    elements = _ancestor_elements(node)
+    if isinstance(node, ElementNode) and node.tag != "#document":
+        elements.append(node)
+    tags = [_tag_label(element, with_classes) for element in elements]
+    if clean:
+        tags = [tag for tag in tags if not _is_noisy(tag)]
+    return tuple(tags)
+
+
+def sequence_similarity(left: tuple[str, ...], right: tuple[str, ...]) -> float:
+    """Normalised tag-sequence similarity in ``[0, 1]``.
+
+    ``1 - levenshtein(left, right) / max(len)``; two empty sequences are
+    identical (1.0).
+    """
+    if not left and not right:
+        return 1.0
+    distance = _levenshtein(left, right)
+    return 1.0 - distance / max(len(left), len(right))
+
+
+def _levenshtein(left: tuple[str, ...], right: tuple[str, ...]) -> int:
+    """Edit distance between two tag sequences (two-row DP)."""
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    previous = list(range(len(right) + 1))
+    for row, tag_left in enumerate(left, start=1):
+        current = [row] + [0] * len(right)
+        for col, tag_right in enumerate(right, start=1):
+            substitution = previous[col - 1] + (tag_left != tag_right)
+            current[col] = min(previous[col] + 1, current[col - 1] + 1, substitution)
+        previous = current
+    return previous[-1]
+
+
+@dataclass(frozen=True, slots=True)
+class RelativeTagPath:
+    """Structural relation between two nodes in one DOM tree.
+
+    ``up`` is the tag sequence climbing from the first node's enclosing
+    element to (excluding) the lowest common ancestor; ``lca`` is the
+    common ancestor's tag; ``down`` descends from below the LCA to the
+    second node's enclosing element.
+    """
+
+    up: tuple[str, ...]
+    lca: str
+    down: tuple[str, ...]
+
+    def similarity(self, other: "RelativeTagPath") -> float:
+        """Similarity in ``[0, 1]`` combining both arms and the LCA tag.
+
+        The arms are compared by normalised edit distance; a mismatched
+        LCA tag halves the score, since patterns anchored at different
+        containers (e.g. a table vs. a list) rarely transfer.
+        """
+        up_similarity = sequence_similarity(self.up, other.up)
+        down_similarity = sequence_similarity(self.down, other.down)
+        score = (up_similarity + down_similarity) / 2.0
+        if self.lca != other.lca:
+            score *= 0.5
+        return score
+
+    def __str__(self) -> str:
+        up = "/".join(self.up) or "."
+        down = "/".join(self.down) or "."
+        return f"{up} ^{self.lca} {down}"
+
+
+def relative_path(
+    from_node: DomNode,
+    to_node: DomNode,
+    *,
+    clean: bool = True,
+    with_classes: bool = False,
+) -> RelativeTagPath:
+    """Compute the :class:`RelativeTagPath` between two nodes of one tree.
+
+    Raises ``ValueError`` when the nodes do not share a root.
+    """
+    from_chain = _ancestor_elements(from_node)
+    to_chain = _ancestor_elements(to_node)
+    if isinstance(from_node, ElementNode):
+        from_chain.append(from_node)
+    if isinstance(to_node, ElementNode):
+        to_chain.append(to_node)
+    if not from_chain or not to_chain or from_chain[0] is not to_chain[0]:
+        raise ValueError("nodes do not belong to the same document")
+
+    common = 0
+    for left, right in zip(from_chain, to_chain):
+        if left is right:
+            common += 1
+        else:
+            break
+    lca = from_chain[common - 1]
+    up_tags = [
+        _tag_label(element, with_classes)
+        for element in reversed(from_chain[common:])
+    ]
+    down_tags = [
+        _tag_label(element, with_classes) for element in to_chain[common:]
+    ]
+    if clean:
+        up_tags = [tag for tag in up_tags if not _is_noisy(tag)]
+        down_tags = [tag for tag in down_tags if not _is_noisy(tag)]
+    return RelativeTagPath(tuple(up_tags), _tag_label(lca, with_classes), tuple(down_tags))

@@ -1,0 +1,214 @@
+"""A small HTML tokenizer.
+
+Turns markup into a flat stream of :class:`HtmlToken` records —
+start tags (with attributes), end tags, self-closing tags, text,
+comments and doctypes.  It covers the HTML actually found on
+data-intensive sites: quoted/unquoted attributes, void elements,
+``<script>``/``<style>`` raw-text content, character references, and
+sloppy constructs such as unclosed quotes at end of input.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from html import unescape
+
+# Elements whose end tag is forbidden (HTML5 void elements).
+VOID_ELEMENTS = frozenset(
+    {
+        "area", "base", "br", "col", "embed", "hr", "img", "input",
+        "link", "meta", "param", "source", "track", "wbr",
+    }
+)
+
+# Elements whose content is raw text until the matching end tag.
+RAWTEXT_ELEMENTS = frozenset({"script", "style"})
+
+
+class TokenType(enum.Enum):
+    """Kinds of tokens emitted by the tokenizer."""
+
+    START_TAG = "start"
+    END_TAG = "end"
+    SELF_CLOSING = "self"
+    TEXT = "text"
+    COMMENT = "comment"
+    DOCTYPE = "doctype"
+
+
+@dataclass(slots=True)
+class HtmlToken:
+    """One lexical unit of an HTML document."""
+
+    type: TokenType
+    data: str  # tag name, text content, or comment body
+    attrs: dict[str, str] = field(default_factory=dict)
+
+
+def tokenize(markup: str) -> list[HtmlToken]:
+    """Tokenize HTML markup into a list of tokens.
+
+    The tokenizer never raises on malformed input; it recovers the way
+    browsers do (stray ``<`` becomes text, unterminated constructs run
+    to end of input).
+    """
+    tokens: list[HtmlToken] = []
+    position = 0
+    length = len(markup)
+
+    while position < length:
+        lt = markup.find("<", position)
+        if lt == -1:
+            _emit_text(tokens, markup[position:])
+            break
+        if lt > position:
+            _emit_text(tokens, markup[position:lt])
+        if lt + 1 >= length:
+            _emit_text(tokens, markup[lt:])
+            break
+
+        next_char = markup[lt + 1]
+        if next_char == "!":
+            position = _consume_markup_declaration(markup, lt, tokens)
+        elif next_char == "/":
+            position = _consume_end_tag(markup, lt, tokens)
+        elif next_char.isalpha():
+            position = _consume_start_tag(markup, lt, tokens)
+        else:
+            # A lone '<' that starts no tag is literal text.
+            _emit_text(tokens, "<")
+            position = lt + 1
+    return tokens
+
+
+def _emit_text(tokens: list[HtmlToken], raw: str) -> None:
+    if raw:
+        tokens.append(HtmlToken(TokenType.TEXT, unescape(raw)))
+
+
+def _consume_markup_declaration(
+    markup: str, start: int, tokens: list[HtmlToken]
+) -> int:
+    """Consume ``<!-- ... -->`` or ``<!DOCTYPE ...>`` starting at ``start``."""
+    if markup.startswith("<!--", start):
+        end = markup.find("-->", start + 4)
+        if end == -1:
+            tokens.append(HtmlToken(TokenType.COMMENT, markup[start + 4 :]))
+            return len(markup)
+        tokens.append(HtmlToken(TokenType.COMMENT, markup[start + 4 : end]))
+        return end + 3
+    gt = markup.find(">", start)
+    if gt == -1:
+        tokens.append(HtmlToken(TokenType.DOCTYPE, markup[start + 2 :]))
+        return len(markup)
+    tokens.append(HtmlToken(TokenType.DOCTYPE, markup[start + 2 : gt]))
+    return gt + 1
+
+
+def _consume_end_tag(markup: str, start: int, tokens: list[HtmlToken]) -> int:
+    gt = markup.find(">", start)
+    if gt == -1:
+        _emit_text(tokens, markup[start:])
+        return len(markup)
+    name = markup[start + 2 : gt].strip().lower()
+    if name:
+        tokens.append(HtmlToken(TokenType.END_TAG, name))
+    return gt + 1
+
+
+def _consume_start_tag(markup: str, start: int, tokens: list[HtmlToken]) -> int:
+    position = start + 1
+    length = len(markup)
+    name_start = position
+    while position < length and (
+        markup[position].isalnum() or markup[position] in "-_:"
+    ):
+        position += 1
+    name = markup[name_start:position].lower()
+
+    attrs, position, self_closing = _consume_attributes(markup, position)
+
+    token_type = TokenType.SELF_CLOSING if self_closing else TokenType.START_TAG
+    if name in VOID_ELEMENTS:
+        token_type = TokenType.SELF_CLOSING
+    tokens.append(HtmlToken(token_type, name, attrs))
+
+    if token_type is TokenType.START_TAG and name in RAWTEXT_ELEMENTS:
+        return _consume_rawtext(markup, position, name, tokens)
+    return position
+
+
+def _consume_attributes(
+    markup: str, position: int
+) -> tuple[dict[str, str], int, bool]:
+    """Parse attributes until ``>``; returns (attrs, after-gt, self_closing)."""
+    attrs: dict[str, str] = {}
+    length = len(markup)
+    self_closing = False
+    while position < length:
+        while position < length and markup[position].isspace():
+            position += 1
+        if position >= length:
+            break
+        char = markup[position]
+        if char == ">":
+            position += 1
+            break
+        if char == "/":
+            position += 1
+            if position < length and markup[position] == ">":
+                self_closing = True
+                position += 1
+                break
+            continue
+        # Attribute name.
+        name_start = position
+        while position < length and markup[position] not in "=/> \t\r\n":
+            position += 1
+        attr_name = markup[name_start:position].lower()
+        while position < length and markup[position].isspace():
+            position += 1
+        value = ""
+        if position < length and markup[position] == "=":
+            position += 1
+            while position < length and markup[position].isspace():
+                position += 1
+            if position < length and markup[position] in "\"'":
+                quote = markup[position]
+                position += 1
+                value_start = position
+                end = markup.find(quote, position)
+                if end == -1:
+                    value = markup[value_start:]
+                    position = length
+                else:
+                    value = markup[value_start:end]
+                    position = end + 1
+            else:
+                value_start = position
+                while position < length and markup[position] not in "> \t\r\n":
+                    position += 1
+                value = markup[value_start:position]
+        if attr_name:
+            attrs[attr_name] = unescape(value)
+    return attrs, position, self_closing
+
+
+def _consume_rawtext(
+    markup: str, position: int, tag: str, tokens: list[HtmlToken]
+) -> int:
+    """Consume raw text content of <script>/<style> up to its end tag."""
+    lower = markup.lower()
+    close = f"</{tag}"
+    end = lower.find(close, position)
+    if end == -1:
+        if position < len(markup):
+            tokens.append(HtmlToken(TokenType.TEXT, markup[position:]))
+        tokens.append(HtmlToken(TokenType.END_TAG, tag))
+        return len(markup)
+    if end > position:
+        tokens.append(HtmlToken(TokenType.TEXT, markup[position:end]))
+    gt = markup.find(">", end)
+    tokens.append(HtmlToken(TokenType.END_TAG, tag))
+    return len(markup) if gt == -1 else gt + 1

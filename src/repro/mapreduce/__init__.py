@@ -1,0 +1,13 @@
+"""Local MapReduce engine and fusion jobs (the scale-out substrate)."""
+
+from repro.mapreduce.engine import JobStats, MapReduceJob, Pipeline, word_count
+from repro.mapreduce.jobs import mr_accu, mr_vote
+
+__all__ = [
+    "JobStats",
+    "MapReduceJob",
+    "Pipeline",
+    "mr_accu",
+    "mr_vote",
+    "word_count",
+]

@@ -1,0 +1,172 @@
+"""A small conjunctive query engine over the triple store.
+
+KBs are consumed downstream by knowledge-driven applications; a store
+that cannot be queried is not "actionable".  This module provides basic
+graph-pattern matching in the SPARQL spirit, sized for this library:
+
+* a :class:`TriplePattern` has constants or variables (``Var("x")``)
+  in any position;
+* a :class:`GraphQuery` is a conjunction of patterns plus optional
+  per-variable filters; solving returns bindings (dicts) produced by
+  an order-optimised nested-loop join (most selective pattern first).
+
+Example::
+
+    query = GraphQuery([
+        TriplePattern(Var("uni"), "location", Var("city")),
+        TriplePattern(Var("uni"), "founded", "1874-01-01"),
+    ])
+    for binding in query.solve(store):
+        print(binding["uni"], binding["city"])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Union
+
+from repro.errors import StoreError
+from repro.rdf.store import TripleStore
+from repro.rdf.triple import Triple, Value
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A query variable."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise StoreError("variable name must be non-empty")
+
+
+Term = Union[str, Value, Var]
+Binding = dict[str, str]
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """One pattern: subject/predicate are str-or-Var, object is
+    Value-or-str-or-Var (a plain string object is wrapped as a string
+    Value)."""
+
+    subject: Term
+    predicate: Term
+    obj: Term
+
+    def variables(self) -> set[str]:
+        return {
+            term.name
+            for term in (self.subject, self.predicate, self.obj)
+            if isinstance(term, Var)
+        }
+
+
+class GraphQuery:
+    """A conjunctive query (basic graph pattern) with optional filters."""
+
+    def __init__(
+        self,
+        patterns: Iterable[TriplePattern],
+        filters: dict[str, Callable[[str], bool]] | None = None,
+    ) -> None:
+        self.patterns = list(patterns)
+        if not self.patterns:
+            raise StoreError("a query needs at least one pattern")
+        self.filters = dict(filters or {})
+        unknown = set(self.filters) - self.variables()
+        if unknown:
+            raise StoreError(f"filters on unbound variables: {unknown}")
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for pattern in self.patterns:
+            names |= pattern.variables()
+        return names
+
+    # ------------------------------------------------------------------
+    def solve(self, store: TripleStore) -> list[Binding]:
+        """All bindings satisfying every pattern and filter."""
+        return list(self.iter_solutions(store))
+
+    def iter_solutions(self, store: TripleStore) -> Iterator[Binding]:
+        ordered = sorted(self.patterns, key=lambda p: _selectivity(p))
+        yield from self._solve(store, ordered, {})
+
+    def _solve(
+        self,
+        store: TripleStore,
+        patterns: list[TriplePattern],
+        binding: Binding,
+    ) -> Iterator[Binding]:
+        if not patterns:
+            if all(
+                predicate(binding[name])
+                for name, predicate in self.filters.items()
+            ):
+                yield dict(binding)
+            return
+        pattern, rest = patterns[0], patterns[1:]
+        subject = _resolve(pattern.subject, binding)
+        predicate = _resolve(pattern.predicate, binding)
+        obj = _resolve(pattern.obj, binding)
+        matches = store.match(
+            subject=subject,
+            predicate=predicate,
+            obj=Value(obj) if obj is not None else None,
+        )
+        # Object equality must be value-kind-agnostic for plain strings:
+        # retry the object index by lexical when the typed probe missed.
+        if obj is not None and not matches:
+            matches = [
+                triple
+                for triple in store.match(subject=subject, predicate=predicate)
+                if triple.obj.lexical == obj
+            ]
+        for triple in matches:
+            extended = _extend(binding, pattern, triple)
+            if extended is not None:
+                yield from self._solve(store, rest, extended)
+
+
+def _selectivity(pattern: TriplePattern) -> int:
+    """Fewer variables first (cheap heuristic join order)."""
+    return len(pattern.variables())
+
+
+def _resolve(term: Term, binding: Binding) -> str | None:
+    if isinstance(term, Var):
+        return binding.get(term.name)
+    if isinstance(term, Value):
+        return term.lexical
+    return term
+
+
+def _extend(
+    binding: Binding, pattern: TriplePattern, triple: Triple
+) -> Binding | None:
+    """Bind the pattern's variables against a concrete triple."""
+    extended = dict(binding)
+    for term, actual in (
+        (pattern.subject, triple.subject),
+        (pattern.predicate, triple.predicate),
+        (pattern.obj, triple.obj.lexical),
+    ):
+        if isinstance(term, Var):
+            bound = extended.get(term.name)
+            if bound is None:
+                extended[term.name] = actual
+            elif bound != actual:
+                return None
+    return extended
+
+
+def select(
+    store: TripleStore,
+    subject: Term = Var("s"),
+    predicate: Term = Var("p"),
+    obj: Term = Var("o"),
+) -> list[Binding]:
+    """One-pattern convenience query."""
+    return GraphQuery([TriplePattern(subject, predicate, obj)]).solve(store)

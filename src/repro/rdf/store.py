@@ -1,0 +1,192 @@
+"""An indexed in-memory triple store.
+
+The store keeps three hash indexes (SPO, POS, OSP) so that any lookup
+with at least one bound position runs in time proportional to the size
+of its answer, mirroring the classic triple-table layout of RDF
+databases.  Scored extractions are stored alongside their provenance so
+that fusion can retrieve every claim about a data item.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import StoreError
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+
+
+class TripleStore:
+    """In-memory RDF store with SPO/POS/OSP indexes.
+
+    The store deduplicates on the full ``(triple, provenance)`` pair:
+    the same triple asserted by two different sources is kept twice
+    (fusion needs both claims), while re-adding an identical claim is a
+    no-op that refreshes its confidence to the maximum seen.
+    """
+
+    def __init__(self) -> None:
+        # (triple, provenance) -> ScoredTriple
+        self._claims: dict[tuple[Triple, Provenance], ScoredTriple] = {}
+        # subject -> predicate -> set of object values
+        self._spo: dict[str, dict[str, set[Value]]] = {}
+        # predicate -> object -> set of subjects
+        self._pos: dict[str, dict[Value, set[str]]] = {}
+        # object -> subject -> set of predicates
+        self._osp: dict[Value, dict[str, set[str]]] = {}
+
+    def __len__(self) -> int:
+        """Number of stored claims (triple/provenance pairs)."""
+        return len(self._claims)
+
+    def __iter__(self) -> Iterator[ScoredTriple]:
+        return iter(list(self._claims.values()))
+
+    def __contains__(self, triple: Triple) -> bool:
+        by_predicate = self._spo.get(triple.subject)
+        if by_predicate is None:
+            return False
+        objects = by_predicate.get(triple.predicate)
+        return objects is not None and triple.obj in objects
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, scored: ScoredTriple) -> None:
+        """Add one claim; keeps the max confidence on duplicates."""
+        key = (scored.triple, scored.provenance)
+        existing = self._claims.get(key)
+        if existing is not None and existing.confidence >= scored.confidence:
+            return
+        self._claims[key] = scored
+        triple = scored.triple
+        self._spo.setdefault(triple.subject, {}).setdefault(
+            triple.predicate, set()
+        ).add(triple.obj)
+        self._pos.setdefault(triple.predicate, {}).setdefault(
+            triple.obj, set()
+        ).add(triple.subject)
+        self._osp.setdefault(triple.obj, {}).setdefault(
+            triple.subject, set()
+        ).add(triple.predicate)
+
+    def add_all(self, scored: Iterable[ScoredTriple]) -> None:
+        """Add many claims."""
+        for one in scored:
+            self.add(one)
+
+    def remove(self, triple: Triple) -> int:
+        """Remove every claim of ``triple``; returns how many were removed."""
+        keys = [key for key in self._claims if key[0] == triple]
+        for key in keys:
+            del self._claims[key]
+        if keys:
+            self._spo[triple.subject][triple.predicate].discard(triple.obj)
+            self._pos[triple.predicate][triple.obj].discard(triple.subject)
+            self._osp[triple.obj][triple.subject].discard(triple.predicate)
+        return len(keys)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def match(
+        self,
+        subject: str | None = None,
+        predicate: str | None = None,
+        obj: Value | None = None,
+    ) -> list[Triple]:
+        """Return distinct triples matching a pattern with ``None`` wildcards.
+
+        Uses the most selective available index; a fully unbound pattern
+        enumerates the store.
+        """
+        if subject is not None:
+            by_predicate = self._spo.get(subject, {})
+            predicates = (
+                [predicate] if predicate is not None else list(by_predicate)
+            )
+            result = []
+            for pred in predicates:
+                for value in by_predicate.get(pred, ()):
+                    if obj is None or value == obj:
+                        result.append(Triple(subject, pred, value))
+            return result
+        if predicate is not None:
+            by_object = self._pos.get(predicate, {})
+            objects = [obj] if obj is not None else list(by_object)
+            return [
+                Triple(subj, predicate, value)
+                for value in objects
+                for subj in by_object.get(value, ())
+            ]
+        if obj is not None:
+            by_subject = self._osp.get(obj, {})
+            return [
+                Triple(subj, pred, obj)
+                for subj, preds in by_subject.items()
+                for pred in preds
+            ]
+        seen: set[Triple] = set()
+        out: list[Triple] = []
+        for scored in self._claims.values():
+            if scored.triple not in seen:
+                seen.add(scored.triple)
+                out.append(scored.triple)
+        return out
+
+    def claims(self, triple: Triple | None = None) -> list[ScoredTriple]:
+        """All claims, or all claims of one specific triple."""
+        if triple is None:
+            return list(self._claims.values())
+        return [
+            scored
+            for (stored, _prov), scored in self._claims.items()
+            if stored == triple
+        ]
+
+    def claims_for_item(self, subject: str, predicate: str) -> list[ScoredTriple]:
+        """Every claim about the data item ``(subject, predicate)``."""
+        return [
+            scored
+            for scored in self._claims.values()
+            if scored.triple.subject == subject
+            and scored.triple.predicate == predicate
+        ]
+
+    def objects(self, subject: str, predicate: str) -> set[Value]:
+        """Distinct object values claimed for a data item."""
+        return set(self._spo.get(subject, {}).get(predicate, set()))
+
+    def subjects(self) -> set[str]:
+        """All subjects appearing in the store."""
+        return set(self._spo)
+
+    def predicates(self, subject: str | None = None) -> set[str]:
+        """All predicates, optionally restricted to one subject."""
+        if subject is None:
+            return set(self._pos)
+        return set(self._spo.get(subject, {}))
+
+    def sources(self) -> set[str]:
+        """Distinct provenance source ids across all claims."""
+        return {scored.provenance.source_id for scored in self._claims.values()}
+
+    def extractors(self) -> set[str]:
+        """Distinct provenance extractor ids across all claims."""
+        return {
+            scored.provenance.extractor_id for scored in self._claims.values()
+        }
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+    def merge(self, other: "TripleStore") -> None:
+        """Add every claim of ``other`` into this store."""
+        if other is self:
+            raise StoreError("cannot merge a store into itself")
+        self.add_all(other.claims())
+
+    def copy(self) -> "TripleStore":
+        """A shallow copy holding the same (immutable) claims."""
+        clone = TripleStore()
+        clone.add_all(self.claims())
+        return clone

@@ -1,0 +1,87 @@
+"""Synthetic data substrate: the ground-truth world and every generated
+source (KB snapshots, query streams, websites, Web-text corpora)."""
+
+from repro.synth.claims import (
+    ClaimWorld,
+    ClaimWorldConfig,
+    generate_claim_world,
+)
+from repro.synth.catalog import (
+    CLASS_NAMES,
+    DEFAULT_UNIVERSE_SIZES,
+    AttributeSpec,
+    ClassCatalog,
+    build_all_catalogs,
+    build_catalog,
+    generate_locations,
+)
+from repro.synth.kb_snapshots import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    KbPairConfig,
+    KbSnapshot,
+    RepresentativeKbConfig,
+    build_kb_pair,
+    build_representative_snapshots,
+    decamelize,
+    render_name,
+)
+from repro.synth.querylog import (
+    PAPER_TABLE3_RELEVANT,
+    PAPER_TOTAL_RECORDS,
+    QueryLogConfig,
+    QueryRecord,
+    generate_query_log,
+)
+from repro.synth.websites import (
+    GoldMention,
+    WebPage,
+    Website,
+    WebsiteConfig,
+    generate_websites,
+)
+from repro.synth.webtext import (
+    GoldFact,
+    TextDocument,
+    WebTextConfig,
+    generate_webtext,
+)
+from repro.synth.world import GroundTruthWorld, WorldConfig
+
+__all__ = [
+    "CLASS_NAMES",
+    "ClaimWorld",
+    "ClaimWorldConfig",
+    "generate_claim_world",
+    "DEFAULT_UNIVERSE_SIZES",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3_RELEVANT",
+    "PAPER_TOTAL_RECORDS",
+    "AttributeSpec",
+    "ClassCatalog",
+    "GoldFact",
+    "GoldMention",
+    "GroundTruthWorld",
+    "KbPairConfig",
+    "KbSnapshot",
+    "QueryLogConfig",
+    "QueryRecord",
+    "RepresentativeKbConfig",
+    "TextDocument",
+    "WebPage",
+    "Website",
+    "WebsiteConfig",
+    "WebTextConfig",
+    "WorldConfig",
+    "build_all_catalogs",
+    "build_catalog",
+    "build_kb_pair",
+    "build_representative_snapshots",
+    "decamelize",
+    "generate_locations",
+    "generate_query_log",
+    "generate_websites",
+    "generate_webtext",
+    "render_name",
+]

@@ -1,0 +1,217 @@
+"""Synthetic claim-world generator for fusion experiments.
+
+Fusion methods are evaluated on controlled claim sets where the truth,
+the per-source accuracy, the copying structure and the confidence
+calibration are all known.  This generator builds such worlds:
+
+* ``n_items`` data items, each with one (functional) or several
+  (multi-truth) true values plus a pool of plausible false values;
+* independent sources with individual accuracies, each covering a
+  random subset of items;
+* optional **copier cliques**: sources that replicate a leader's claims
+  (errors included) — the scenario correlation-aware fusion must win;
+* optional **hierarchical truths**: the true value is a leaf of a
+  chain, and sloppy sources report an ancestor instead of a wrong value
+  — the scenario hierarchy-aware fusion must win;
+* optional **informative confidences**: correct claims tend to carry
+  higher confidence than wrong ones (calibration strength is a knob).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import GenerationError
+from repro.fusion.base import Claim, ClaimSet, Item
+from repro.rdf.hierarchy import ValueHierarchy
+
+
+@dataclass(slots=True)
+class ClaimWorldConfig:
+    """Parameters of a synthetic claim world."""
+
+    seed: int = 0
+    n_items: int = 60
+    n_sources: int = 10
+    coverage: float = 0.7
+    source_accuracies: list[float] | None = None  # default: spread 0.55-0.95
+    truths_per_item: int = 1  # >1 => multi-truth items
+    false_pool: int = 6
+    copier_cliques: int = 0  # cliques of 3 copying a leader
+    clique_size: int = 3
+    hierarchical: bool = False
+    generalization_rate: float = 0.35  # chance a correct claim generalises
+    confidence_informative: bool = False
+    confidence_noise: float = 0.15
+
+    def validate(self) -> None:
+        if self.n_items < 1 or self.n_sources < 1:
+            raise GenerationError("items and sources must be >= 1")
+        if not 0 < self.coverage <= 1:
+            raise GenerationError("coverage must lie in (0, 1]")
+        if self.truths_per_item < 1:
+            raise GenerationError("truths_per_item must be >= 1")
+        if self.false_pool < 1:
+            raise GenerationError("false_pool must be >= 1")
+
+
+@dataclass(slots=True)
+class ClaimWorld:
+    """A generated claim set plus its gold standard."""
+
+    claims: ClaimSet
+    truths: dict[Item, set[str]] = field(default_factory=dict)
+    source_accuracy: dict[str, float] = field(default_factory=dict)
+    copier_of: dict[str, str] = field(default_factory=dict)
+    hierarchy: ValueHierarchy | None = None
+
+    def precision_of(self, decided: dict[Item, set[str]]) -> float:
+        """Fraction of decided values that are true (hierarchy-aware)."""
+        total = 0
+        correct = 0
+        for item, values in decided.items():
+            gold = self.expanded_truths(item)
+            for value in values:
+                total += 1
+                if value in gold:
+                    correct += 1
+        return correct / total if total else 0.0
+
+    def recall_of(self, decided: dict[Item, set[str]]) -> float:
+        """Fraction of gold (leaf) truths that were decided."""
+        total = 0
+        correct = 0
+        for item, gold in self.truths.items():
+            for value in gold:
+                total += 1
+                if value in decided.get(item, set()):
+                    correct += 1
+        return correct / total if total else 0.0
+
+    def expanded_truths(self, item: Item) -> set[str]:
+        gold = set(self.truths.get(item, set()))
+        if self.hierarchy is not None:
+            for value in list(gold):
+                gold.update(self.hierarchy.ancestors(value))
+        return gold
+
+
+def generate_claim_world(config: ClaimWorldConfig | None = None) -> ClaimWorld:
+    """Build a synthetic claim world per the configuration."""
+    cfg = config or ClaimWorldConfig()
+    cfg.validate()
+    rng = random.Random(cfg.seed)
+
+    accuracies = cfg.source_accuracies
+    if accuracies is None:
+        accuracies = [
+            0.55 + 0.4 * index / max(1, cfg.n_sources - 1)
+            for index in range(cfg.n_sources)
+        ]
+    sources = [f"source{index:02d}" for index in range(cfg.n_sources)]
+    accuracy_of = {
+        source: accuracies[index % len(accuracies)]
+        for index, source in enumerate(sources)
+    }
+
+    hierarchy: ValueHierarchy | None = None
+    world = ClaimWorld(ClaimSet(), source_accuracy=dict(accuracy_of))
+    if cfg.hierarchical:
+        hierarchy = ValueHierarchy()
+        world.hierarchy = hierarchy
+
+    # Build items: truths + false pools (+ hierarchy chains).
+    item_values: dict[Item, tuple[set[str], list[str]]] = {}
+    for index in range(cfg.n_items):
+        item: Item = (f"entity{index:03d}", "attr")
+        truths = {
+            f"true-{index:03d}-{t}" for t in range(cfg.truths_per_item)
+        }
+        falses = [f"false-{index:03d}-{f}" for f in range(cfg.false_pool)]
+        if cfg.hierarchical:
+            for truth in truths:
+                hierarchy.add_chain(
+                    [truth, f"region-{truth}", f"country-{truth}"]
+                )
+        item_values[item] = (truths, falses)
+        world.truths[item] = truths
+
+    # Independent sources claim their views.
+    for source in sources:
+        _emit_source_claims(
+            world, source, accuracy_of[source], item_values, rng, cfg
+        )
+
+    # Copier cliques: each clique copies one fresh leader.
+    for clique in range(cfg.copier_cliques):
+        leader = f"leader{clique:02d}"
+        leader_accuracy = 0.6
+        world.source_accuracy[leader] = leader_accuracy
+        leader_claims = _emit_source_claims(
+            world, leader, leader_accuracy, item_values, rng, cfg
+        )
+        for member in range(cfg.clique_size):
+            copier = f"copier{clique:02d}-{member}"
+            world.source_accuracy[copier] = leader_accuracy
+            world.copier_of[copier] = leader
+            for copied in leader_claims:
+                world.claims.add(
+                    Claim(
+                        item=copied.item,
+                        value=copied.value,
+                        lexical=copied.lexical,
+                        source_id=copier,
+                        extractor_id=copied.extractor_id,
+                        confidence=copied.confidence,
+                    )
+                )
+    return world
+
+
+def _emit_source_claims(
+    world: ClaimWorld,
+    source: str,
+    accuracy: float,
+    item_values: dict[Item, tuple[set[str], list[str]]],
+    rng: random.Random,
+    cfg: ClaimWorldConfig,
+) -> list[Claim]:
+    emitted: list[Claim] = []
+    for item, (truths, falses) in item_values.items():
+        if rng.random() > cfg.coverage:
+            continue
+        for truth in truths:
+            correct = rng.random() < accuracy
+            if correct:
+                value = truth
+                if (
+                    cfg.hierarchical
+                    and rng.random() < cfg.generalization_rate
+                ):
+                    ancestors = world.hierarchy.ancestors(truth)
+                    value = rng.choice(ancestors)
+            else:
+                value = rng.choice(falses)
+            confidence = 1.0
+            if cfg.confidence_informative:
+                base = 0.8 if value in world.expanded_truths(item) else 0.35
+                confidence = min(
+                    1.0,
+                    max(
+                        0.05,
+                        base + rng.uniform(-cfg.confidence_noise,
+                                           cfg.confidence_noise),
+                    ),
+                )
+            claim = Claim(
+                item=item,
+                value=value,
+                lexical=value,
+                source_id=source,
+                extractor_id="synthetic",
+                confidence=confidence,
+            )
+            world.claims.add(claim)
+            emitted.append(claim)
+    return emitted

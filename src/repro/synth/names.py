@@ -1,0 +1,114 @@
+"""Deterministic name generation primitives.
+
+All synthetic generators share these helpers to mint entity names,
+place names and vocabulary words.  Everything is driven by an explicit
+``random.Random`` so a seed fully determines the generated world.
+"""
+
+from __future__ import annotations
+
+import random
+
+_ONSETS = [
+    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl",
+    "l", "m", "n", "p", "pr", "qu", "r", "s", "sh", "st", "t", "th", "tr",
+    "v", "w", "z",
+]
+_NUCLEI = ["a", "e", "i", "o", "u", "ai", "ea", "ia", "io", "ou"]
+_CODAS = ["", "l", "m", "n", "nd", "r", "rn", "s", "st", "t", "x"]
+
+_ADJECTIVES = [
+    "Silent", "Golden", "Crimson", "Hidden", "Broken", "Distant", "Eternal",
+    "Forgotten", "Gentle", "Hollow", "Iron", "Jade", "Lonely", "Midnight",
+    "Northern", "Pale", "Quiet", "Restless", "Scarlet", "Twilight",
+    "Velvet", "Wandering", "Winter", "Ancient", "Burning",
+]
+_NOUNS = [
+    "River", "Mountain", "Garden", "Empire", "Voyage", "Harbor", "Forest",
+    "Mirror", "Shadow", "Crown", "Bridge", "Tower", "Island", "Storm",
+    "Lantern", "Compass", "Archive", "Orchard", "Meadow", "Citadel",
+    "Horizon", "Beacon", "Labyrinth", "Fountain", "Observatory",
+]
+
+_HOTEL_BRANDS = [
+    "Grand", "Royal", "Imperial", "Park", "Plaza", "Crown", "Harbour",
+    "Summit", "Meridian", "Pacific", "Continental", "Regency",
+]
+
+_FIRST_NAMES = [
+    "Alice", "Ben", "Clara", "David", "Elena", "Frank", "Grace", "Henry",
+    "Iris", "James", "Karen", "Liam", "Mona", "Noah", "Olive", "Peter",
+    "Quinn", "Rosa", "Samuel", "Tara", "Umar", "Vera", "Walter", "Xenia",
+    "Yara", "Zane",
+]
+_SURNAMES = [
+    "Anders", "Bennett", "Calloway", "Drummond", "Ellison", "Fairbanks",
+    "Garland", "Hawthorne", "Ibsen", "Jennings", "Kowalski", "Lindqvist",
+    "Moreau", "Nakamura", "Okafor", "Petrov", "Quimby", "Rutherford",
+    "Sandoval", "Thackeray", "Underwood", "Voss", "Whitfield", "Yamada",
+    "Zimmermann", "Abernathy",
+]
+
+
+def syllable(rng: random.Random) -> str:
+    """One pronounceable syllable."""
+    return rng.choice(_ONSETS) + rng.choice(_NUCLEI) + rng.choice(_CODAS)
+
+
+def invented_word(rng: random.Random, syllables: int = 2) -> str:
+    """A pronounceable invented word, capitalised."""
+    word = "".join(syllable(rng) for _ in range(syllables))
+    return word.capitalize()
+
+
+def place_name(rng: random.Random) -> str:
+    """An invented place name, occasionally suffixed (``-ville``, etc.)."""
+    base = invented_word(rng, rng.choice([2, 2, 3]))
+    if rng.random() < 0.3:
+        base += rng.choice(["ville", "ton", "burg", "ford", "haven", "field"])
+    return base
+
+
+def person_name(rng: random.Random) -> str:
+    """A plausible person name from fixed pools."""
+    return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_SURNAMES)}"
+
+
+def title_name(rng: random.Random) -> str:
+    """A creative-work title (for books and films)."""
+    shape = rng.random()
+    if shape < 0.45:
+        return f"The {rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)}"
+    if shape < 0.75:
+        return f"{rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)}"
+    return f"{rng.choice(_NOUNS)} of {invented_word(rng, 2)}"
+
+
+def country_name(rng: random.Random) -> str:
+    """An invented country name."""
+    base = invented_word(rng, rng.choice([2, 3]))
+    if rng.random() < 0.25:
+        base += rng.choice(["ia", "land", "stan", "ova"])
+    return base
+
+
+def university_name(rng: random.Random, place: str | None = None) -> str:
+    """A university name anchored at a place."""
+    anchor = place or place_name(rng)
+    if rng.random() < 0.5:
+        return f"University of {anchor}"
+    return f"{anchor} University"
+
+
+def hotel_name(rng: random.Random, place: str | None = None) -> str:
+    """A hotel name anchored at a place."""
+    anchor = place or place_name(rng)
+    return f"{rng.choice(_HOTEL_BRANDS)} {anchor} Hotel"
+
+
+def word_pool(rng: random.Random, count: int, syllables: int = 2) -> list[str]:
+    """A pool of ``count`` distinct invented lower-case words."""
+    pool: set[str] = set()
+    while len(pool) < count:
+        pool.add(invented_word(rng, syllables).lower())
+    return sorted(pool)

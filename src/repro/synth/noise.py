@@ -1,0 +1,103 @@
+"""Noise models shared by the synthetic generators.
+
+Real Web data is dirty in specific ways the paper's fusion phase must
+survive: misspellings, attribute-name synonyms, wrong values copied
+between sources, and formatting variation.  Each corruption here is a
+pure function of an explicit RNG, so noise is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+_KEYBOARD_NEIGHBORS = {
+    "a": "sq", "b": "vn", "c": "xv", "d": "sf", "e": "wr", "f": "dg",
+    "g": "fh", "h": "gj", "i": "uo", "j": "hk", "k": "jl", "l": "k",
+    "m": "n", "n": "bm", "o": "ip", "p": "o", "q": "wa", "r": "et",
+    "s": "ad", "t": "ry", "u": "yi", "v": "cb", "w": "qe", "x": "zc",
+    "y": "tu", "z": "x",
+}
+
+
+def misspell(word: str, rng: random.Random) -> str:
+    """Introduce one realistic typo into a word (≥ 4 characters).
+
+    Typo kinds: neighbouring-key substitution, transposition, deletion,
+    duplication.  Words shorter than 4 characters return unchanged —
+    short-word typos produce different words, not recognisable
+    misspellings.
+    """
+    if len(word) < 4:
+        return word
+    index = rng.randrange(1, len(word) - 1)
+    kind = rng.randrange(4)
+    char = word[index].lower()
+    if kind == 0 and char in _KEYBOARD_NEIGHBORS:
+        replacement = rng.choice(_KEYBOARD_NEIGHBORS[char])
+        return word[:index] + replacement + word[index + 1 :]
+    if kind == 1:
+        return word[:index] + word[index + 1] + word[index] + word[index + 2 :]
+    if kind == 2:
+        return word[:index] + word[index + 1 :]
+    return word[:index] + word[index] + word[index:]
+
+
+def misspell_phrase(phrase: str, rng: random.Random) -> str:
+    """Misspell one word of a multi-word phrase."""
+    words = phrase.split(" ")
+    candidates = [i for i, word in enumerate(words) if len(word) >= 4]
+    if not candidates:
+        return phrase
+    index = rng.choice(candidates)
+    words[index] = misspell(words[index], rng)
+    return " ".join(words)
+
+
+# Synonym rewrites for attribute names ("A of E" variants).
+_SYNONYM_REWRITES = [
+    lambda name: f"{name} of record",
+    lambda name: f"official {name}",
+    lambda name: f"total {name}",
+    lambda name: " ".join(reversed(name.split(" ")))
+    if len(name.split(" ")) == 2
+    else name,
+]
+
+
+def synonymize_attribute(name: str, rng: random.Random) -> str:
+    """A synonym surface form for an attribute name.
+
+    Swaps in a structural variant ("publication date" →
+    "date of publication") or decorates with a qualifier; returns the
+    input unchanged when no rewrite applies.
+    """
+    words = name.split(" ")
+    if len(words) == 2 and rng.random() < 0.6:
+        return f"{words[1]} of {words[0]}"
+    rewrite = rng.choice(_SYNONYM_REWRITES)
+    return rewrite(name)
+
+
+def corrupt_value(value: str, rng: random.Random, pool: list[str]) -> str:
+    """Replace a value with a wrong one.
+
+    Prefers a *plausible* wrong value (another value from the same
+    attribute's pool), falling back to a misspelling of the truth.
+    """
+    alternatives = [candidate for candidate in pool if candidate != value]
+    if alternatives and rng.random() < 0.8:
+        return rng.choice(alternatives)
+    corrupted = misspell_phrase(value, rng)
+    if corrupted != value:
+        return corrupted
+    return value + "x"
+
+
+def format_variation(value: str, rng: random.Random) -> str:
+    """A harmless formatting variant of the same value (case, spacing)."""
+    kind = rng.randrange(3)
+    if kind == 0:
+        return value.upper()
+    if kind == 1:
+        return value.lower()
+    return value.title()

@@ -1,0 +1,299 @@
+"""Synthetic websites: entity detail pages with site-specific DOM styles.
+
+Algorithm 1 exploits a structural fact about data-intensive sites:
+within one site (and page) attribute labels sit in regular positions
+relative to the entity's name node, while *across* sites the tag paths
+differ.  The generator enforces exactly that:
+
+* each site draws a **layout style** (infobox table, definition list,
+  bulleted list, key/value divs) plus its own chrome (navigation,
+  sidebar, footer) and wrapper depth, so absolute tag paths differ
+  between sites;
+* each page presents one entity: the entity name in the page heading,
+  then label/value rows for a subset of the entity's attributes;
+* labels vary per site (case, trailing colon, occasional synonym or
+  misspelling), values are wrong at a configurable error rate —
+  feeding realistic noise into extraction and fusion.
+
+Pages are rendered to HTML *strings*, so the extractor exercises the
+full tokenizer → parser → tag-path stack.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import GenerationError
+from repro.htmldom.node import Document, ElementNode
+from repro.htmldom.serialize import to_html
+from repro.synth import names
+from repro.synth.catalog import AttributeSpec
+from repro.synth.noise import (
+    corrupt_value,
+    format_variation,
+    misspell_phrase,
+    synonymize_attribute,
+)
+from repro.synth.world import GroundTruthWorld
+
+LAYOUT_STYLES = ("table", "dl", "ul", "divs")
+
+
+@dataclass(frozen=True, slots=True)
+class GoldMention:
+    """Gold annotation: one attribute/value row rendered on a page."""
+
+    entity_id: str
+    attribute: str  # canonical name
+    label_surface: str  # what the page shows as the label
+    value: str  # what the page shows as the value
+    value_is_true: bool
+
+
+@dataclass(slots=True)
+class WebPage:
+    """One generated page: URL, markup and gold annotations."""
+
+    url: str
+    html: str
+    entity_id: str
+    entity_surface: str
+    gold: tuple[GoldMention, ...]
+
+
+@dataclass(slots=True)
+class Website:
+    """A site: one class, one layout style, many entity pages."""
+
+    site_id: str
+    class_name: str
+    style: str
+    pages: list[WebPage] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class WebsiteConfig:
+    """Generation parameters for the website corpus."""
+
+    seed: int = 23
+    sites_per_class: int = 4
+    pages_per_site: int = 20
+    min_attributes_per_page: int = 5
+    max_attributes_per_page: int = 14
+    error_rate: float = 0.08
+    label_misspell_rate: float = 0.03
+    label_synonym_rate: float = 0.08
+    noise_rows: int = 2  # unrelated label/value rows per page
+
+    def validate(self) -> None:
+        if self.sites_per_class < 1 or self.pages_per_site < 1:
+            raise GenerationError("site and page counts must be >= 1")
+        if self.min_attributes_per_page > self.max_attributes_per_page:
+            raise GenerationError(
+                "min_attributes_per_page must be <= max_attributes_per_page"
+            )
+
+
+def generate_websites(
+    world: GroundTruthWorld,
+    config: WebsiteConfig | None = None,
+    classes: tuple[str, ...] | None = None,
+) -> list[Website]:
+    """Generate the website corpus for the given classes (default: all)."""
+    cfg = config or WebsiteConfig()
+    cfg.validate()
+    rng = random.Random(cfg.seed)
+    sites: list[Website] = []
+    for class_name in classes or world.classes():
+        for site_index in range(cfg.sites_per_class):
+            sites.append(
+                _generate_site(world, class_name, site_index, rng, cfg)
+            )
+    return sites
+
+
+def _generate_site(
+    world: GroundTruthWorld,
+    class_name: str,
+    site_index: int,
+    rng: random.Random,
+    cfg: WebsiteConfig,
+) -> Website:
+    style = LAYOUT_STYLES[site_index % len(LAYOUT_STYLES)]
+    host = f"www.{names.invented_word(rng, 2).lower()}{class_name.lower()}.com"
+    site = Website(host, class_name, style)
+    # Site-level presentation decisions, constant across the site's pages.
+    label_case = rng.choice(["title", "lower", "upper"])
+    label_colon = rng.random() < 0.6
+    wrapper_depth = rng.randint(0, 2)
+    site_labels: dict[str, str] = {}  # canonical -> site's label surface
+
+    entities = list(world.entities(class_name))
+    rng.shuffle(entities)
+    chosen = entities[: min(cfg.pages_per_site, len(entities))]
+    for page_index, entity in enumerate(chosen):
+        page = _generate_page(
+            world, site, entity, page_index, rng, cfg,
+            label_case, label_colon, wrapper_depth, site_labels,
+        )
+        site.pages.append(page)
+    return site
+
+
+def _site_label(
+    attribute: AttributeSpec,
+    rng: random.Random,
+    cfg: WebsiteConfig,
+    label_case: str,
+    label_colon: bool,
+    site_labels: dict[str, str],
+) -> str:
+    """The site's (sticky) label for an attribute, with styling applied."""
+    base = site_labels.get(attribute.name)
+    if base is None:
+        base = attribute.name
+        if rng.random() < cfg.label_synonym_rate:
+            base = synonymize_attribute(base, rng)
+        elif rng.random() < cfg.label_misspell_rate:
+            base = misspell_phrase(base, rng)
+        site_labels[attribute.name] = base
+    if label_case == "title":
+        styled = base.title()
+    elif label_case == "upper":
+        styled = base.upper()
+    else:
+        styled = base
+    return styled + (":" if label_colon else "")
+
+
+def _generate_page(
+    world: GroundTruthWorld,
+    site: Website,
+    entity,
+    page_index: int,
+    rng: random.Random,
+    cfg: WebsiteConfig,
+    label_case: str,
+    label_colon: bool,
+    wrapper_depth: int,
+    site_labels: dict[str, str],
+) -> WebPage:
+    class_name = site.class_name
+    catalog = world.catalogs[class_name]
+    # Attributes this entity actually has a fact for, weighted by web
+    # propensity, bounded to the page budget.
+    candidates = [
+        spec
+        for spec in catalog.attributes
+        if world.true_leaf_values(entity.entity_id, spec.name)
+        and rng.random() < spec.web_propensity
+    ]
+    rng.shuffle(candidates)
+    budget = rng.randint(cfg.min_attributes_per_page, cfg.max_attributes_per_page)
+    chosen = candidates[:budget]
+
+    gold: list[GoldMention] = []
+    rows: list[tuple[str, str]] = []
+    for spec in chosen:
+        label = _site_label(spec, rng, cfg, label_case, label_colon, site_labels)
+        truths = sorted(world.true_leaf_values(entity.entity_id, spec.name))
+        value = rng.choice(truths)
+        is_true = True
+        if rng.random() < cfg.error_rate:
+            wrong = corrupt_value(
+                value, rng, world.value_pool(class_name, spec)
+            )
+            is_true = wrong in world.true_values(entity.entity_id, spec.name)
+            value = wrong
+        if rng.random() < 0.15:
+            value = format_variation(value, rng)
+        rows.append((label, value))
+        gold.append(
+            GoldMention(entity.entity_id, spec.name, label, value, is_true)
+        )
+    for _ in range(cfg.noise_rows):
+        noise_label = names.invented_word(rng, 2)
+        noise_value = names.invented_word(rng, 2)
+        rows.append((noise_label, noise_value))
+
+    entity_surface = rng.choice(entity.surface_forms())
+    document = _render_page(
+        site, entity_surface, rows, wrapper_depth, rng
+    )
+    url = f"http://{site.site_id}/{class_name.lower()}/{page_index:04d}.html"
+    return WebPage(
+        url, to_html(document), entity.entity_id, entity_surface, tuple(gold)
+    )
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _render_page(
+    site: Website,
+    entity_surface: str,
+    rows: list[tuple[str, str]],
+    wrapper_depth: int,
+    rng: random.Random,
+) -> Document:
+    document = Document()
+    html = document.append_element("html")
+    head = html.append_element("head")
+    head.append_element("title").append_text(f"{entity_surface} - {site.site_id}")
+    body = html.append_element("body")
+
+    nav = body.append_element("nav")
+    for link_text in ("Home", "About", "Browse", "Contact"):
+        nav.append_element("a", {"href": "#"}).append_text(link_text)
+
+    container = body.append_element("div", {"class": "container"})
+    for _ in range(wrapper_depth):
+        container = container.append_element("div", {"class": "wrap"})
+
+    heading = container.append_element("h1", {"class": "entity-name"})
+    heading.append_text(entity_surface)
+
+    _render_rows(container, site.style, rows)
+
+    sidebar = body.append_element("aside", {"class": "sidebar"})
+    sidebar.append_element("p").append_text(
+        f"Sponsored: visit {names.invented_word(rng, 2)} today"
+    )
+    footer = body.append_element("footer")
+    footer.append_element("p").append_text(f"(c) 2014 {site.site_id}")
+    return document
+
+
+def _render_rows(
+    container: ElementNode, style: str, rows: list[tuple[str, str]]
+) -> None:
+    """Render label/value rows in the site's layout style."""
+    if style == "table":
+        table = container.append_element("table", {"class": "infobox"})
+        for label, value in rows:
+            row = table.append_element("tr")
+            row.append_element("th").append_text(label)
+            row.append_element("td").append_text(value)
+    elif style == "dl":
+        dl = container.append_element("dl", {"class": "facts"})
+        for label, value in rows:
+            dl.append_element("dt").append_text(label)
+            dl.append_element("dd").append_text(value)
+    elif style == "ul":
+        ul = container.append_element("ul", {"class": "facts"})
+        for label, value in rows:
+            li = ul.append_element("li")
+            li.append_element("b").append_text(label)
+            # Values commonly link out; the <a> also keeps the value's
+            # tag path distinct from the label's once noisy tags (<b>)
+            # are removed.
+            li.append_element("a", {"href": "#"}).append_text(value)
+    elif style == "divs":
+        box = container.append_element("div", {"class": "facts"})
+        for label, value in rows:
+            row = box.append_element("div", {"class": "row"})
+            row.append_element("div", {"class": "key"}).append_text(label)
+            row.append_element("div", {"class": "val"}).append_text(value)
+    else:  # pragma: no cover - guarded by LAYOUT_STYLES
+        raise GenerationError(f"unknown layout style {style!r}")

@@ -1,0 +1,159 @@
+"""Synthetic Web-text corpus.
+
+The Web-text extractor learns lexical patterns from sentences that
+realise a known seed fact, then applies the learned patterns to harvest
+new triples.  The generator therefore emits prose documents in which
+facts are realised through a small family of natural sentence shapes
+("The A of E is V.", "E's A is V.", "V is the A of E.") interleaved
+with distractor sentences, across several text sources with different
+error rates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import GenerationError
+from repro.synth import names
+from repro.synth.noise import corrupt_value
+from repro.synth.world import GroundTruthWorld
+
+_FACT_TEMPLATES = [
+    "The {attribute} of {entity} is {value}.",
+    "{entity}'s {attribute} is {value}.",
+    "{value} is the {attribute} of {entity}.",
+    "{entity} has a {attribute} of {value}.",
+]
+
+_DISTRACTOR_TEMPLATES = [
+    "Many readers visited the {word} exhibition last year.",
+    "Experts continue to debate the influence of {word}.",
+    "A new report about {word} appeared in 2014.",
+    "The festival of {word} attracted thousands of visitors.",
+    "Little is known about the early history of {word}.",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class GoldFact:
+    """Gold annotation: one fact sentence inside a document."""
+
+    entity_id: str
+    attribute: str
+    value: str
+    value_is_true: bool
+    template_index: int
+
+
+@dataclass(slots=True)
+class TextDocument:
+    """One generated prose document from a text source."""
+
+    doc_id: str
+    source_id: str
+    class_name: str
+    text: str
+    gold: tuple[GoldFact, ...]
+
+
+@dataclass(slots=True)
+class WebTextConfig:
+    """Generation parameters for the text corpus."""
+
+    seed: int = 29
+    sources_per_class: int = 3
+    documents_per_source: int = 15
+    facts_per_document: tuple[int, int] = (3, 8)
+    distractors_per_document: tuple[int, int] = (2, 5)
+    error_rate: float = 0.1
+
+    def validate(self) -> None:
+        if self.sources_per_class < 1 or self.documents_per_source < 1:
+            raise GenerationError("source and document counts must be >= 1")
+        low, high = self.facts_per_document
+        if low < 1 or high < low:
+            raise GenerationError("facts_per_document range is invalid")
+
+
+def generate_webtext(
+    world: GroundTruthWorld,
+    config: WebTextConfig | None = None,
+    classes: tuple[str, ...] | None = None,
+) -> list[TextDocument]:
+    """Generate the Web-text corpus for the given classes (default: all)."""
+    cfg = config or WebTextConfig()
+    cfg.validate()
+    rng = random.Random(cfg.seed)
+    documents: list[TextDocument] = []
+    for class_name in classes or world.classes():
+        for source_index in range(cfg.sources_per_class):
+            source_id = (
+                f"text.{names.invented_word(rng, 2).lower()}"
+                f"{class_name.lower()}.net"
+            )
+            # Source-specific error rate clustered around the configured one.
+            source_error = max(
+                0.0, min(0.5, cfg.error_rate * rng.uniform(0.5, 1.8))
+            )
+            for doc_index in range(cfg.documents_per_source):
+                documents.append(
+                    _generate_document(
+                        world, class_name, source_id,
+                        f"{source_id}/doc{doc_index:03d}",
+                        source_error, rng, cfg,
+                    )
+                )
+    return documents
+
+
+def _generate_document(
+    world: GroundTruthWorld,
+    class_name: str,
+    source_id: str,
+    doc_id: str,
+    error_rate: float,
+    rng: random.Random,
+    cfg: WebTextConfig,
+) -> TextDocument:
+    entities = list(world.entities(class_name))
+    entity = rng.choice(entities)
+    catalog = world.catalogs[class_name]
+    candidates = [
+        spec
+        for spec in catalog.attributes
+        if world.true_leaf_values(entity.entity_id, spec.name)
+        and rng.random() < spec.web_propensity
+    ]
+    rng.shuffle(candidates)
+    fact_count = rng.randint(*cfg.facts_per_document)
+    chosen = candidates[:fact_count]
+
+    sentences: list[str] = []
+    gold: list[GoldFact] = []
+    for spec in chosen:
+        truths = sorted(world.true_leaf_values(entity.entity_id, spec.name))
+        value = rng.choice(truths)
+        is_true = True
+        if rng.random() < error_rate:
+            wrong = corrupt_value(value, rng, world.value_pool(class_name, spec))
+            is_true = wrong in world.true_values(entity.entity_id, spec.name)
+            value = wrong
+        template_index = rng.randrange(len(_FACT_TEMPLATES))
+        sentence = _FACT_TEMPLATES[template_index].format(
+            attribute=spec.name,
+            entity=rng.choice(entity.surface_forms()),
+            value=value,
+        )
+        sentences.append(sentence)
+        gold.append(
+            GoldFact(entity.entity_id, spec.name, value, is_true, template_index)
+        )
+
+    for _ in range(rng.randint(*cfg.distractors_per_document)):
+        template = rng.choice(_DISTRACTOR_TEMPLATES)
+        sentences.append(template.format(word=names.invented_word(rng, 2)))
+    rng.shuffle(sentences)
+    return TextDocument(
+        doc_id, source_id, class_name, " ".join(sentences), tuple(gold)
+    )

@@ -1,0 +1,73 @@
+"""Sentence splitting for Web text documents.
+
+Rule-based splitting on ``. ! ?`` with protection for common
+abbreviations and initials; sufficient for the generated Web-text
+corpus and for realistic prose.
+"""
+
+from __future__ import annotations
+
+_ABBREVIATIONS = frozenset(
+    {
+        "mr", "mrs", "ms", "dr", "prof", "st", "vs", "etc", "inc",
+        "ltd", "co", "jr", "sr", "no", "vol", "dept", "univ", "approx",
+        "e.g", "i.e",
+    }
+)
+
+_TERMINATORS = ".!?"
+
+
+def split_sentences(text: str) -> list[str]:
+    """Split prose into sentences.
+
+    >>> split_sentences("It rains. Dr. Smith stays home! Why?")
+    ['It rains.', 'Dr. Smith stays home!', 'Why?']
+    """
+    sentences: list[str] = []
+    start = 0
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char in _TERMINATORS and _is_boundary(text, index):
+            sentence = text[start : index + 1].strip()
+            if sentence:
+                sentences.append(sentence)
+            start = index + 1
+        index += 1
+    tail = text[start:].strip()
+    if tail:
+        sentences.append(tail)
+    return sentences
+
+
+def _is_boundary(text: str, index: int) -> bool:
+    """Is the terminator at ``index`` a true sentence boundary?"""
+    # Must be followed by whitespace+capital/digit or end of text.
+    after = index + 1
+    while after < len(text) and text[after] in "\"')]":
+        after += 1
+    if after >= len(text):
+        return True
+    if not text[after].isspace():
+        return False
+    follow = after
+    while follow < len(text) and text[follow].isspace():
+        follow += 1
+    if follow < len(text) and text[follow].islower():
+        return False
+    if text[index] != ".":
+        return True
+    # Check for abbreviations and initials before a period.
+    word_start = index
+    while word_start > 0 and (
+        text[word_start - 1].isalpha() or text[word_start - 1] == "."
+    ):
+        word_start -= 1
+    word = text[word_start:index].lower().rstrip(".")
+    if word in _ABBREVIATIONS:
+        return False
+    if len(word) == 1 and word.isalpha():  # single initial, "J. Smith"
+        return False
+    return True

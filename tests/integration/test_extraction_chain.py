@@ -1,0 +1,96 @@
+"""Integration tests: the extraction phase end to end.
+
+Covers the seeded chain KBs+queries → seeds → DOM/text extraction, with
+gold-standard quality checks — the paper's Phase 1 across modules.
+"""
+
+import pytest
+
+from repro.core.confidence import ConfidenceScorer
+from repro.evalx.metrics import attribute_discovery_metrics, triple_precision
+from repro.extract.dom import DomTreeExtractor
+from repro.extract.webtext import WebTextExtractor
+
+
+@pytest.fixture(scope="module")
+def dom_output(world, seed_sets, websites):
+    return DomTreeExtractor(world.entity_index(), seed_sets).extract(websites)
+
+
+@pytest.fixture(scope="module")
+def webtext_output(world, seed_sets, combined_kb_output, webtext_documents):
+    extractor = WebTextExtractor(
+        world.entity_index(), seed_sets, combined_kb_output.triples
+    )
+    extractor.learn(webtext_documents)
+    return extractor.extract(webtext_documents)
+
+
+class TestSeedChain:
+    def test_seeds_come_from_both_accurate_sources(
+        self, seed_sets, combined_kb_output, query_extraction
+    ):
+        query_output, _ = query_extraction
+        for class_name, seeds in seed_sets.items():
+            kb_names = combined_kb_output.attribute_names(class_name)
+            query_names = query_output.attribute_names(class_name)
+            assert seeds.names() == kb_names | query_names
+
+    def test_seed_precision_high(self, world, seed_sets):
+        for class_name, seeds in seed_sets.items():
+            gold = set(world.attribute_names(class_name))
+            metrics = attribute_discovery_metrics(seeds.names(), gold)
+            assert metrics.precision > 0.9
+
+
+class TestDomPhase:
+    def test_dom_extends_seed_sets(self, world, seed_sets, dom_output):
+        extended = 0
+        for class_name in world.classes():
+            found = dom_output.attribute_names(class_name)
+            if found - seed_sets[class_name].names():
+                extended += 1
+        assert extended >= 3  # most classes gain new attributes
+
+    def test_dom_triples_precision(self, world, dom_output):
+        assert triple_precision(world, dom_output.triples) > 0.7
+
+    def test_dom_triples_subjects_are_entities(self, world, dom_output):
+        valid = {
+            entity.entity_id
+            for class_name in world.classes()
+            for entity in world.entities(class_name)
+        }
+        assert all(
+            scored.triple.subject in valid for scored in dom_output.triples
+        )
+
+
+class TestWebTextPhase:
+    def test_patterns_learned_from_corpus(
+        self, world, seed_sets, combined_kb_output, webtext_documents
+    ):
+        extractor = WebTextExtractor(
+            world.entity_index(), seed_sets, combined_kb_output.triples
+        )
+        adopted = extractor.learn(webtext_documents)
+        assert adopted >= 3
+
+    def test_webtext_triples_precision(self, world, webtext_output):
+        assert triple_precision(world, webtext_output.triples) > 0.6
+
+
+class TestUnifiedConfidence:
+    def test_confident_claims_are_more_often_true(
+        self, world, dom_output, webtext_output, combined_kb_output
+    ):
+        scorer = ConfidenceScorer()
+        batch = scorer.score_batch(
+            combined_kb_output.triples
+            + dom_output.triples
+            + webtext_output.triples
+        )
+        ranked = sorted(batch, key=lambda s: s.confidence, reverse=True)
+        top = ranked[: len(ranked) // 4]
+        bottom = ranked[-len(ranked) // 4 :]
+        assert triple_precision(world, top) > triple_precision(world, bottom)

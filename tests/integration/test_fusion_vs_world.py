@@ -1,0 +1,86 @@
+"""Integration tests: fusion methods against extraction-phase claims.
+
+The methods are compared on real extractor output (not synthetic claim
+worlds), checking the ordering the paper's Section 3.2 predicts.
+"""
+
+import pytest
+
+from repro.core.confidence import ConfidenceScorer
+from repro.evalx.metrics import evaluate_fusion
+from repro.extract.dom import DomTreeExtractor
+from repro.extract.webtext import WebTextExtractor
+from repro.fusion.accu import Accu, PopAccu
+from repro.fusion.base import ClaimSet
+from repro.fusion.knowledge_fusion import KnowledgeFusion
+from repro.fusion.multitruth import MultiTruth
+from repro.fusion.vote import Vote
+
+
+@pytest.fixture(scope="module")
+def claims(world, seed_sets, combined_kb_output, websites, webtext_documents):
+    dom = DomTreeExtractor(world.entity_index(), seed_sets).extract(websites)
+    text_extractor = WebTextExtractor(
+        world.entity_index(), seed_sets, combined_kb_output.triples
+    )
+    text_extractor.learn(webtext_documents)
+    text = text_extractor.extract(webtext_documents)
+    scorer = ConfidenceScorer()
+    batch = scorer.score_batch(
+        combined_kb_output.triples + dom.triples + text.triples
+    )
+    return ClaimSet.from_scored_triples(batch)
+
+
+@pytest.fixture(scope="module")
+def functional_oracle(world):
+    functional = {}
+    for class_name in world.classes():
+        for spec in world.catalogs[class_name].attributes:
+            functional.setdefault(spec.name, spec.functional)
+    return lambda predicate: functional.get(predicate, False)
+
+
+class TestMethodOrdering:
+    def test_all_methods_run_on_real_claims(self, world, claims):
+        for method in (Vote(), Accu(), PopAccu(), MultiTruth()):
+            report = evaluate_fusion(world, method.fuse(claims))
+            assert report.precision > 0.6
+
+    def test_knowledge_fusion_not_worse_than_vote(
+        self, world, claims, functional_oracle
+    ):
+        vote = evaluate_fusion(world, Vote().fuse(claims))
+        fused = evaluate_fusion(
+            world,
+            KnowledgeFusion(
+                hierarchy=world.hierarchy, functional_of=functional_oracle
+            ).fuse(claims),
+        )
+        assert fused.f1 >= vote.f1 - 0.02
+
+    def test_fused_beliefs_are_calibrated_signals(self, world, claims):
+        result = KnowledgeFusion(hierarchy=world.hierarchy).fuse(claims)
+        from repro.evalx.metrics import true_value_keys
+
+        decided = sorted(
+            (
+                (result.belief_of(item, value), item, value)
+                for item, values in result.truths.items()
+                for value in values
+            ),
+            reverse=True,
+        )
+        quartile = len(decided) // 4
+        assert quartile > 10
+
+        def precision(slice_):
+            correct = sum(
+                1
+                for _belief, item, value in slice_
+                if value in true_value_keys(world, item[0], item[1])
+            )
+            return correct / len(slice_)
+
+        # Higher fused belief must mean a higher chance of being true.
+        assert precision(decided[:quartile]) > precision(decided[-quartile:])

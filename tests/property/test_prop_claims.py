@@ -1,0 +1,73 @@
+"""Property-based tests for the synthetic claim-world generator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+
+configs = st.builds(
+    ClaimWorldConfig,
+    seed=st.integers(min_value=0, max_value=50),
+    n_items=st.integers(min_value=1, max_value=40),
+    n_sources=st.integers(min_value=1, max_value=8),
+    coverage=st.floats(min_value=0.3, max_value=1.0),
+    truths_per_item=st.integers(min_value=1, max_value=3),
+    false_pool=st.integers(min_value=1, max_value=5),
+    copier_cliques=st.integers(min_value=0, max_value=2),
+    hierarchical=st.booleans(),
+)
+
+
+class TestGeneratorInvariants:
+    @given(configs)
+    @settings(max_examples=50, deadline=None)
+    def test_every_item_has_truths(self, config):
+        world = generate_claim_world(config)
+        assert len(world.truths) == config.n_items
+        assert all(
+            len(values) == config.truths_per_item
+            for values in world.truths.values()
+        )
+
+    @given(configs)
+    @settings(max_examples=50, deadline=None)
+    def test_claim_values_drawn_from_known_space(self, config):
+        world = generate_claim_world(config)
+        for claim in world.claims:
+            gold = world.expanded_truths(claim.item)
+            is_true = claim.value in gold
+            is_false_pool = claim.value.startswith("false-")
+            assert is_true or is_false_pool
+
+    @given(configs)
+    @settings(max_examples=50, deadline=None)
+    def test_copiers_replicate_leader(self, config):
+        world = generate_claim_world(config)
+        votes = {}
+        for claim in world.claims:
+            votes.setdefault(claim.source_id, {}).setdefault(
+                claim.item, set()
+            ).add(claim.value)
+        for copier, leader in world.copier_of.items():
+            assert votes.get(copier) == votes.get(leader)
+
+    @given(configs)
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic(self, config):
+        first = generate_claim_world(config)
+        second = generate_claim_world(config)
+        assert first.truths == second.truths
+        assert len(first.claims) == len(second.claims)
+
+    @given(configs)
+    @settings(max_examples=50, deadline=None)
+    def test_precision_of_gold_is_one(self, config):
+        world = generate_claim_world(config)
+        assert world.precision_of(world.truths) == 1.0
+        assert world.recall_of(world.truths) == 1.0
+
+    @given(configs)
+    @settings(max_examples=50, deadline=None)
+    def test_hierarchy_present_iff_configured(self, config):
+        world = generate_claim_world(config)
+        assert (world.hierarchy is not None) == config.hierarchical

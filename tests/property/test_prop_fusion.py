@@ -1,0 +1,93 @@
+"""Property-based tests for fusion invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fusion.accu import Accu, PopAccu
+from repro.fusion.base import Claim, ClaimSet
+from repro.fusion.confidence_weighted import GeneralizedSums
+from repro.fusion.multitruth import MultiTruth
+from repro.fusion.vote import Vote
+
+items = st.tuples(
+    st.sampled_from(["e1", "e2", "e3", "e4"]), st.sampled_from(["p", "q"])
+)
+values = st.sampled_from(["a", "b", "c", "d"])
+sources = st.sampled_from(["s1", "s2", "s3", "s4", "s5"])
+
+
+@st.composite
+def claim_sets(draw):
+    records = draw(
+        st.lists(
+            st.tuples(
+                items, values, sources,
+                st.floats(min_value=0.05, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return ClaimSet(
+        Claim(item, value, value, source, "ex", confidence)
+        for item, value, source, confidence in records
+    )
+
+
+METHODS = [Vote(), Accu(), PopAccu(), MultiTruth(), GeneralizedSums()]
+
+
+class TestDecisionInvariants:
+    @given(claim_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_every_item_gets_a_decision(self, claims):
+        for method in METHODS:
+            result = method.fuse(claims)
+            assert set(result.truths) == set(claims.items())
+
+    @given(claim_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_decided_values_were_claimed(self, claims):
+        for method in METHODS:
+            result = method.fuse(claims)
+            for item, decided in result.truths.items():
+                observed = set(claims.values_of(item))
+                assert decided <= observed
+
+    @given(claim_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_decisions_nonempty(self, claims):
+        for method in METHODS:
+            result = method.fuse(claims)
+            assert all(decided for decided in result.truths.values())
+
+    @given(claim_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_beliefs_in_unit_interval(self, claims):
+        for method in METHODS:
+            result = method.fuse(claims)
+            assert all(0.0 <= b <= 1.0 + 1e-9 for b in result.belief.values())
+
+    @given(claim_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, claims):
+        for method_factory in (Vote, Accu, MultiTruth):
+            first = method_factory().fuse(claims)
+            second = method_factory().fuse(claims)
+            assert first.truths == second.truths
+
+
+class TestUnanimity:
+    @given(
+        st.lists(sources, min_size=2, max_size=5, unique=True),
+        values,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unanimous_value_always_wins(self, source_list, value):
+        claims = ClaimSet(
+            Claim(("e", "p"), value, value, source, "ex")
+            for source in source_list
+        )
+        for method in METHODS:
+            result = method.fuse(claims)
+            assert result.truths[("e", "p")] == {value}

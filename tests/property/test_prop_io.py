@@ -1,0 +1,61 @@
+"""Property-based tests for store persistence (TSV round-trip)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.io import dump_claims_tsv, load_claims_tsv
+from repro.rdf.store import TripleStore
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value, ValueKind
+
+# Text that exercises escaping: tabs, newlines, backslashes, quotes.
+gnarly = st.text(
+    alphabet=st.sampled_from(list("ab\\\t\n\r\"' cé")), min_size=1,
+    max_size=12,
+).filter(lambda s: s.strip())
+
+kinds = st.sampled_from(list(ValueKind))
+
+
+@st.composite
+def stores(draw):
+    store = TripleStore()
+    count = draw(st.integers(min_value=0, max_value=15))
+    for index in range(count):
+        store.add(
+            ScoredTriple(
+                Triple(
+                    draw(gnarly),
+                    draw(gnarly),
+                    Value(draw(gnarly), draw(kinds)),
+                ),
+                Provenance(draw(gnarly), draw(gnarly), draw(gnarly)),
+                draw(st.floats(min_value=0, max_value=1)),
+            )
+        )
+    return store
+
+
+class TestTsvRoundTrip:
+    @given(store=stores())
+    @settings(max_examples=60, deadline=None)
+    def test_lossless(self, tmp_path_factory, store):
+        path = tmp_path_factory.mktemp("io") / "claims.tsv"
+        dump_claims_tsv(store, path)
+        loaded = load_claims_tsv(path)
+        original = {
+            (c.triple, c.provenance, c.confidence) for c in store.claims()
+        }
+        restored = {
+            (c.triple, c.provenance, c.confidence) for c in loaded.claims()
+        }
+        assert original == restored
+
+    @given(store=stores())
+    @settings(max_examples=30, deadline=None)
+    def test_double_roundtrip_stable(self, tmp_path_factory, store):
+        base = tmp_path_factory.mktemp("io")
+        first = base / "a.tsv"
+        second = base / "b.tsv"
+        dump_claims_tsv(store, first)
+        dump_claims_tsv(load_claims_tsv(first), second)
+        assert first.read_text() == second.read_text()

@@ -1,0 +1,70 @@
+"""Property-based tests for the lexical-pattern engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.textproc.patterns import LexicalPattern, induce_pattern
+from repro.textproc.tokenize import detokenize, tokenize_words
+
+words = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=8,
+)
+token_lists = st.lists(words, min_size=1, max_size=10)
+
+
+class TestMatchingInvariants:
+    @given(token_lists)
+    @settings(max_examples=80)
+    def test_single_slot_matches_any_single_token(self, tokens):
+        pattern = LexicalPattern("<X>", max_slot_tokens=1)
+        matches = pattern.match_tokens(tokens)
+        assert len(matches) == len(tokens)
+        assert [m.text("X") for m in matches] == tokens
+
+    @given(token_lists)
+    @settings(max_examples=80)
+    def test_matches_are_ordered_and_disjoint(self, tokens):
+        pattern = LexicalPattern("<X>", max_slot_tokens=2)
+        matches = pattern.match_tokens(tokens)
+        for before, after in zip(matches, matches[1:]):
+            assert before.end <= after.start
+
+    @given(token_lists, words)
+    @settings(max_examples=80)
+    def test_literal_matches_every_occurrence(self, tokens, needle):
+        pattern = LexicalPattern(needle)
+        matches = pattern.match_tokens(tokens)
+        assert len(matches) == sum(
+            1 for token in tokens if token.lower() == needle
+        )
+
+    @given(token_lists)
+    @settings(max_examples=80)
+    def test_bindings_within_span(self, tokens):
+        pattern = LexicalPattern("<X> <Y>", max_slot_tokens=2)
+        for match in pattern.match_tokens(tokens):
+            bound = match.bindings["X"] + match.bindings["Y"]
+            assert bound == list(tokens[match.start : match.end])
+
+
+class TestInductionRoundTrip:
+    @given(st.lists(words, min_size=3, max_size=8))
+    @settings(max_examples=80)
+    def test_induced_pattern_matches_source_sentence(self, tokens):
+        # Abstract the middle token into a slot; the pattern must match
+        # the original sentence and bind that token.
+        middle = len(tokens) // 2
+        pattern = induce_pattern(tokens, {"V": (middle, middle + 1)})
+        assert pattern is not None
+        matches = pattern.match_tokens(tokens, anchored=True)
+        assert matches
+        assert matches[0].bindings["V"] == [tokens[middle]]
+
+
+class TestTokenizeDetokenize:
+    @given(st.lists(words, min_size=1, max_size=8).map(" ".join))
+    @settings(max_examples=80)
+    def test_roundtrip_plain_words(self, text):
+        assert detokenize(tokenize_words(text)) == text

@@ -1,0 +1,83 @@
+"""Property-based tests for the query engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.query import GraphQuery, TriplePattern, Var, select
+from repro.rdf.store import TripleStore
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+
+subjects = st.sampled_from(["s1", "s2", "s3", "s4"])
+predicates = st.sampled_from(["p1", "p2", "p3"])
+objects = st.sampled_from(["a", "b", "c"])
+
+
+@st.composite
+def stores(draw):
+    store = TripleStore()
+    for _ in range(draw(st.integers(min_value=0, max_value=25))):
+        store.add(
+            ScoredTriple(
+                Triple(draw(subjects), draw(predicates), Value(draw(objects))),
+                Provenance("src", "ex"),
+            )
+        )
+    return store
+
+
+class TestQueryInvariants:
+    @given(stores())
+    @settings(max_examples=60)
+    def test_select_all_matches_store(self, store):
+        rows = select(store)
+        triples = {
+            (row["s"], row["p"], row["o"]) for row in rows
+        }
+        expected = {
+            (t.subject, t.predicate, t.obj.lexical) for t in store.match()
+        }
+        assert triples == expected
+
+    @given(stores(), subjects)
+    @settings(max_examples=60)
+    def test_bound_subject_consistent_with_match(self, store, subject):
+        rows = select(store, subject=subject)
+        assert len(rows) == len(store.match(subject=subject))
+
+    @given(stores())
+    @settings(max_examples=60)
+    def test_join_subset_of_cartesian(self, store):
+        query = GraphQuery(
+            [
+                TriplePattern(Var("x"), "p1", Var("v")),
+                TriplePattern(Var("x"), "p2", Var("w")),
+            ]
+        )
+        rows = query.solve(store)
+        lefts = {t.subject for t in store.match(predicate="p1")}
+        rights = {t.subject for t in store.match(predicate="p2")}
+        for row in rows:
+            assert row["x"] in lefts & rights
+
+    @given(stores())
+    @settings(max_examples=60)
+    def test_solutions_satisfy_patterns(self, store):
+        query = GraphQuery(
+            [TriplePattern(Var("s"), Var("p"), "a")]
+        )
+        for row in query.solve(store):
+            assert Triple(row["s"], row["p"], Value("a")) in store
+
+    @given(stores())
+    @settings(max_examples=40)
+    def test_join_order_invariance(self, store):
+        patterns = [
+            TriplePattern(Var("x"), "p1", Var("v")),
+            TriplePattern(Var("x"), Var("q"), "b"),
+        ]
+        forward = GraphQuery(patterns).solve(store)
+        backward = GraphQuery(list(reversed(patterns))).solve(store)
+        canon = lambda rows: sorted(
+            tuple(sorted(row.items())) for row in rows
+        )
+        assert canon(forward) == canon(backward)

@@ -1,0 +1,85 @@
+"""Property-based tests for the triple store."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.store import TripleStore
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+
+subjects = st.sampled_from(["s1", "s2", "s3"])
+predicates = st.sampled_from(["p1", "p2"])
+objects = st.sampled_from(["a", "b", "c"])
+sources = st.sampled_from(["x", "y"])
+
+
+@st.composite
+def claims(draw):
+    return ScoredTriple(
+        Triple(draw(subjects), draw(predicates), Value(draw(objects))),
+        Provenance(draw(sources), "ex"),
+        draw(st.floats(min_value=0, max_value=1)),
+    )
+
+
+claim_lists = st.lists(claims(), min_size=0, max_size=40)
+
+
+class TestStoreInvariants:
+    @given(claim_lists)
+    @settings(max_examples=80)
+    def test_len_equals_distinct_claim_keys(self, batch):
+        store = TripleStore()
+        store.add_all(batch)
+        distinct = {(c.triple, c.provenance) for c in batch}
+        assert len(store) == len(distinct)
+
+    @given(claim_lists)
+    @settings(max_examples=80)
+    def test_match_consistent_with_contains(self, batch):
+        store = TripleStore()
+        store.add_all(batch)
+        for triple in store.match():
+            assert triple in store
+
+    @given(claim_lists)
+    @settings(max_examples=80)
+    def test_indexes_agree(self, batch):
+        store = TripleStore()
+        store.add_all(batch)
+        for triple in store.match():
+            assert triple in store.match(subject=triple.subject)
+            assert triple in store.match(predicate=triple.predicate)
+            assert triple in store.match(obj=triple.obj)
+
+    @given(claim_lists)
+    @settings(max_examples=80)
+    def test_confidence_is_max_over_duplicates(self, batch):
+        store = TripleStore()
+        store.add_all(batch)
+        best = {}
+        for claim in batch:
+            key = (claim.triple, claim.provenance)
+            best[key] = max(best.get(key, 0.0), claim.confidence)
+        for stored in store.claims():
+            assert stored.confidence == best[(stored.triple, stored.provenance)]
+
+    @given(claim_lists)
+    @settings(max_examples=80)
+    def test_remove_then_absent(self, batch):
+        store = TripleStore()
+        store.add_all(batch)
+        for triple in list(store.match())[:3]:
+            store.remove(triple)
+            assert triple not in store
+            assert not store.claims(triple)
+
+    @given(claim_lists, claim_lists)
+    @settings(max_examples=50)
+    def test_merge_is_union(self, left_batch, right_batch):
+        left = TripleStore()
+        left.add_all(left_batch)
+        right = TripleStore()
+        right.add_all(right_batch)
+        left.merge(right)
+        for claim in right_batch:
+            assert claim.triple in left

@@ -1,0 +1,108 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.rdf.io import dump_claims_tsv
+from repro.rdf.store import TripleStore
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_pipeline_defaults(self):
+        args = build_parser().parse_args(["pipeline"])
+        assert args.seed == 7
+        assert not args.discover_entities
+
+    def test_fusion_demo_scenarios(self):
+        args = build_parser().parse_args(
+            ["fusion-demo", "--scenario", "multi-truth"]
+        )
+        assert args.scenario == "multi-truth"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fusion-demo", "--scenario", "nope"])
+
+
+class TestTableCommands:
+    def test_table2_prints_paper_numbers(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "University" in out
+        assert "518" in out
+
+    def test_table1_prints_all_kbs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        for kb in ("YAGO", "DBpedia", "Freebase", "NELL"):
+            assert kb in out
+
+    def test_table3_prints_hotel_na(self, capsys):
+        assert main(["table3", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "Hotel" in out
+        assert "N/A" in out
+
+
+class TestFusionDemo:
+    def test_copiers_scenario(self, capsys):
+        assert main(["fusion-demo", "--items", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "knowledge-fusion" in out
+        assert "vote" in out
+
+    def test_hierarchy_scenario_adds_wrapper(self, capsys):
+        assert main(
+            ["fusion-demo", "--scenario", "hierarchy", "--items", "40"]
+        ) == 0
+        assert "hier(accu)" in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    def test_query_over_exported_tsv(self, tmp_path, capsys):
+        store = TripleStore()
+        store.add(
+            ScoredTriple(
+                Triple("book/1", "author", Value("Jane")),
+                Provenance("src", "ex"),
+            )
+        )
+        store.add(
+            ScoredTriple(
+                Triple("book/2", "author", Value("Tom")),
+                Provenance("src", "ex"),
+            )
+        )
+        path = tmp_path / "claims.tsv"
+        dump_claims_tsv(store, path)
+        assert main(["query", str(path), "--predicate", "author"]) == 0
+        out = capsys.readouterr().out
+        assert "2 solutions" in out
+        assert "Jane" in out and "Tom" in out
+
+    def test_query_fully_bound(self, tmp_path, capsys):
+        store = TripleStore()
+        store.add(
+            ScoredTriple(
+                Triple("book/1", "author", Value("Jane")),
+                Provenance("src", "ex"),
+            )
+        )
+        path = tmp_path / "claims.tsv"
+        dump_claims_tsv(store, path)
+        assert main(
+            [
+                "query", str(path),
+                "--subject", "book/1",
+                "--predicate", "author",
+                "--object", "Jane",
+            ]
+        ) == 0
+        assert "1 solutions" in capsys.readouterr().out

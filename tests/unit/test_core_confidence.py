@@ -1,0 +1,115 @@
+"""Unit tests for the unified confidence criterion."""
+
+import pytest
+
+from repro.core.confidence import ConfidenceConfig, ConfidenceScorer
+from repro.extract.base import DiscoveredAttribute
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+
+
+def scored(subject, predicate, value, source, extractor):
+    return ScoredTriple(
+        Triple(subject, predicate, Value(value)),
+        Provenance(source, extractor),
+    )
+
+
+class TestScoreBatch:
+    def test_scores_within_unit_interval(self):
+        scorer = ConfidenceScorer()
+        batch = scorer.score_batch(
+            [
+                scored("s", "p", "v", "a", "kb"),
+                scored("s", "p", "v", "b", "dom"),
+                scored("s", "p", "w", "c", "webtext"),
+            ]
+        )
+        assert all(0 < item.confidence < 1 for item in batch)
+
+    def test_order_preserved(self):
+        scorer = ConfidenceScorer()
+        inputs = [
+            scored("s1", "p", "v", "a", "kb"),
+            scored("s2", "p", "v", "a", "kb"),
+        ]
+        outputs = scorer.score_batch(inputs)
+        assert [o.triple.subject for o in outputs] == ["s1", "s2"]
+
+    def test_kb_prior_beats_webtext_prior(self):
+        scorer = ConfidenceScorer()
+        batch = scorer.score_batch(
+            [
+                scored("s", "p", "v", "a", "kb"),
+                scored("t", "p", "v", "a", "webtext"),
+            ]
+        )
+        assert batch[0].confidence > batch[1].confidence
+
+    def test_replication_raises_confidence(self):
+        scorer = ConfidenceScorer()
+        lonely = scorer.score_batch([scored("s", "p", "v", "a", "dom")])
+        replicated = scorer.score_batch(
+            [
+                scored("s", "p", "v", "a", "dom"),
+                scored("s", "p", "v", "b", "dom"),
+                scored("s", "p", "v", "c", "dom"),
+            ]
+        )
+        assert replicated[0].confidence > lonely[0].confidence
+
+    def test_disagreement_lowers_confidence(self):
+        scorer = ConfidenceScorer()
+        agreed = scorer.score_batch(
+            [
+                scored("s", "p", "v", "a", "dom"),
+                scored("s", "p", "v", "b", "dom"),
+            ]
+        )
+        contested = scorer.score_batch(
+            [
+                scored("s", "p", "v", "a", "dom"),
+                scored("s", "p", "w", "b", "dom"),
+            ]
+        )
+        assert agreed[0].confidence > contested[0].confidence
+
+    def test_unknown_extractor_uses_default_prior(self):
+        scorer = ConfidenceScorer()
+        batch = scorer.score_batch([scored("s", "p", "v", "a", "alien")])
+        assert 0 < batch[0].confidence < 1
+
+    def test_empty_batch(self):
+        assert ConfidenceScorer().score_batch([]) == []
+
+    def test_custom_priors(self):
+        config = ConfidenceConfig(extractor_priors={"dom": 0.99})
+        scorer = ConfidenceScorer(config)
+        high = scorer.score_batch([scored("s", "p", "v", "a", "dom")])
+        low = ConfidenceScorer().score_batch(
+            [scored("s", "p", "v", "a", "dom")]
+        )
+        assert high[0].confidence > low[0].confidence
+
+
+class TestScoreAttribute:
+    def test_support_increases_confidence(self):
+        scorer = ConfidenceScorer()
+        weak = DiscoveredAttribute("a", "Book", "dom", support=1,
+                                   entity_support=1)
+        strong = DiscoveredAttribute("a", "Book", "dom", support=20,
+                                     entity_support=10)
+        assert scorer.score_attribute(strong) > scorer.score_attribute(weak)
+
+    def test_extractor_prior_matters(self):
+        scorer = ConfidenceScorer()
+        kb = DiscoveredAttribute("a", "Book", "kb", support=5,
+                                 entity_support=5)
+        text = DiscoveredAttribute("a", "Book", "webtext", support=5,
+                                   entity_support=5)
+        assert scorer.score_attribute(kb) > scorer.score_attribute(text)
+
+    def test_bounded(self):
+        scorer = ConfidenceScorer()
+        record = DiscoveredAttribute("a", "Book", "kb", support=10**6,
+                                     entity_support=10**6)
+        assert scorer.score_attribute(record) <= 1.0

@@ -1,0 +1,117 @@
+"""Unit tests for joint entity linking and discovery."""
+
+import pytest
+
+from repro.entity.discovery import (
+    JointEntityResolver,
+    MentionRecord,
+)
+from repro.entity.linking import EntityLinker
+from repro.rdf.ontology import Entity
+
+
+@pytest.fixture
+def resolver():
+    linker = EntityLinker(
+        {"france": Entity("country/1", "France", "Country")}
+    )
+    return JointEntityResolver(linker)
+
+
+class TestLinking:
+    def test_known_mention_links(self, resolver):
+        outcome = resolver.resolve(
+            [MentionRecord("France", "Country")]
+        )
+        assert outcome.linked["France"].entity_id == "country/1"
+        assert not outcome.clusters
+
+
+class TestDiscovery:
+    def test_new_mention_creates_cluster(self, resolver):
+        outcome = resolver.resolve(
+            [MentionRecord("Atlantis", "Country")]
+        )
+        assert len(outcome.clusters) == 1
+        entity = outcome.new_entities()[0]
+        assert entity.name == "Atlantis"
+        assert entity.class_name == "Country"
+        assert entity.entity_id.startswith("new/country/")
+
+    def test_similar_mentions_cluster_together(self, resolver):
+        outcome = resolver.resolve(
+            [
+                MentionRecord("Republic of Atlantis", "Country"),
+                MentionRecord("Atlantis Republic", "Country"),
+            ]
+        )
+        assert len(outcome.clusters) == 1
+        assert len(outcome.clusters[0].surfaces) == 2
+
+    def test_longest_surface_becomes_name(self, resolver):
+        outcome = resolver.resolve(
+            [
+                MentionRecord("Atlantis", "Country"),
+                MentionRecord("Republic of Atlantis", "Country"),
+            ]
+        )
+        # Sorted longest-first, so the long form seeds the cluster name.
+        assert outcome.clusters[0].name == "Republic of Atlantis"
+
+    def test_dissimilar_mentions_stay_apart(self, resolver):
+        outcome = resolver.resolve(
+            [
+                MentionRecord("Atlantis", "Country"),
+                MentionRecord("Zubrovia", "Country"),
+            ]
+        )
+        assert len(outcome.clusters) == 2
+
+    def test_classes_never_mix(self, resolver):
+        outcome = resolver.resolve(
+            [
+                MentionRecord("Atlantis", "Country"),
+                MentionRecord("Atlantis", "Book"),
+            ]
+        )
+        assert len(outcome.clusters) == 2
+
+    def test_profile_overlap_helps_clustering(self):
+        linker = EntityLinker({})
+        resolver = JointEntityResolver(
+            linker, cluster_threshold=0.7, profile_weight=0.5
+        )
+        facts = {("capital", "arko"), ("currency", "zed"), ("gdp", "9")}
+        outcome = resolver.resolve(
+            [
+                MentionRecord("Kingdom of Zub", "Country", set(facts)),
+                MentionRecord("Zub Kingdom", "Country", set(facts)),
+            ]
+        )
+        assert len(outcome.clusters) == 1
+        assert outcome.clusters[0].profile == facts
+
+    def test_cluster_ids_unique(self, resolver):
+        outcome = resolver.resolve(
+            [
+                MentionRecord("Aaa Bbb", "Country"),
+                MentionRecord("Ccc Ddd", "Country"),
+                MentionRecord("Eee Fff", "Country"),
+            ]
+        )
+        ids = [cluster.cluster_id for cluster in outcome.clusters]
+        assert len(ids) == len(set(ids))
+
+    def test_invalid_profile_weight_rejected(self):
+        with pytest.raises(ValueError):
+            JointEntityResolver(EntityLinker({}), profile_weight=2.0)
+
+    def test_aliases_on_materialised_entity(self, resolver):
+        outcome = resolver.resolve(
+            [
+                MentionRecord("Republic of Atlantis", "Country"),
+                MentionRecord("Atlantis Republic", "Country"),
+            ]
+        )
+        entity = outcome.new_entities()[0]
+        assert "Atlantis Republic" in entity.aliases

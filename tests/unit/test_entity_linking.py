@@ -1,0 +1,82 @@
+"""Unit tests for entity linking."""
+
+import pytest
+
+from repro.entity.linking import (
+    EntityLinker,
+    is_mention,
+    mention_subject,
+)
+from repro.rdf.ontology import Entity
+
+
+@pytest.fixture
+def linker():
+    entities = {
+        "the silent river": Entity(
+            "book/1", "The Silent River", "Book", ("Silent River",)
+        ),
+        "silent river": Entity(
+            "book/1", "The Silent River", "Book", ("Silent River",)
+        ),
+        "university of adelaide": Entity(
+            "univ/1", "University of Adelaide", "University"
+        ),
+        "france": Entity("country/1", "France", "Country"),
+    }
+    return EntityLinker(entities)
+
+
+class TestMentionIds:
+    def test_mention_subject_normalises(self):
+        assert mention_subject("  The Book ") == "mention:the book"
+
+    def test_is_mention(self):
+        assert is_mention("mention:x")
+        assert not is_mention("book/1")
+
+
+class TestExactLinking:
+    def test_exact_match(self, linker):
+        decision = linker.link("The Silent River")
+        assert decision.linked
+        assert decision.entity.entity_id == "book/1"
+        assert decision.score == 1.0
+
+    def test_case_insensitive(self, linker):
+        assert linker.link("FRANCE").linked
+
+    def test_alias_match(self, linker):
+        assert linker.link("Silent River").entity.entity_id == "book/1"
+
+    def test_class_restriction(self, linker):
+        assert linker.link("France", class_name="Country").linked
+        assert not linker.link("France", class_name="Book").linked
+
+
+class TestFuzzyLinking:
+    def test_misspelling_links(self, linker):
+        decision = linker.link("Universty of Adelaide")
+        assert decision.linked
+        assert decision.entity.entity_id == "univ/1"
+        assert decision.score < 1.0
+
+    def test_reordering_links(self, linker):
+        decision = linker.link("Adelaide University")
+        assert decision.linked
+
+    def test_unrelated_stays_unlinked(self, linker):
+        decision = linker.link("Completely Different Name Here")
+        assert not decision.linked
+        assert decision.entity is None
+
+    def test_threshold_respected(self):
+        strict = EntityLinker(
+            {"france": Entity("c/1", "France", "Country")},
+            min_similarity=0.999,
+        )
+        assert not strict.link("Frances").linked
+
+    def test_fuzzy_class_restriction(self, linker):
+        decision = linker.link("Universty of Adelaide", class_name="Book")
+        assert not decision.linked

@@ -1,0 +1,125 @@
+"""Unit tests for attribute resolution (misspellings/synonyms/sub-attrs)."""
+
+from repro.entity.resolution import (
+    AttributeResolver,
+    apply_resolution,
+    build_value_profiles,
+)
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+
+
+def claim(subject, predicate, value):
+    return ScoredTriple(
+        Triple(subject, predicate, Value(value)), Provenance("s", "e")
+    )
+
+
+class TestMisspellingMerge:
+    def test_typo_maps_to_supported_name(self):
+        resolver = AttributeResolver(
+            "Book", {"price": 20, "pricce": 2}
+        )
+        resolution = resolver.run()
+        assert resolution.canonical_map == {"pricce": "price"}
+
+    def test_support_decides_direction(self):
+        resolver = AttributeResolver("Book", {"pricce": 20, "price": 2})
+        resolution = resolver.run()
+        # Higher support wins even when it is the typo (garbage in...).
+        assert resolution.canonical_map == {"price": "pricce"}
+
+    def test_distant_names_not_merged(self):
+        resolver = AttributeResolver(
+            "Book", {"price": 10, "publisher": 10}
+        )
+        assert not resolver.run().canonical_map
+
+
+class TestSynonymMerge:
+    def test_token_permutation(self):
+        resolver = AttributeResolver(
+            "Book", {"publication date": 10, "date of publication": 3}
+        )
+        resolution = resolver.run()
+        assert resolution.canonical_map == {
+            "date of publication": "publication date"
+        }
+
+    def test_qualifier_prefix(self):
+        resolver = AttributeResolver(
+            "Book", {"publisher": 10, "official publisher": 2}
+        )
+        resolution = resolver.run()
+        assert resolution.canonical_map == {
+            "official publisher": "publisher"
+        }
+
+    def test_qualifier_suffix(self):
+        resolver = AttributeResolver(
+            "Book", {"price": 10, "price of record": 2}
+        )
+        assert resolver.run().canonical_map == {"price of record": "price"}
+
+
+class TestValueProfileMerge:
+    def test_identical_profiles_merge(self):
+        profiles = {
+            "writer": {("b1", "jane"), ("b2", "tom"), ("b3", "amy")},
+            "scribbler": {("b1", "jane"), ("b2", "tom"), ("b3", "amy")},
+        }
+        resolver = AttributeResolver(
+            "Book", {"writer": 10, "scribbler": 2}, profiles
+        )
+        assert resolver.run().canonical_map == {"scribbler": "writer"}
+
+    def test_disjoint_profiles_stay_apart(self):
+        profiles = {
+            "writer": {("b1", "jane")},
+            "painter": {("b2", "tom")},
+        }
+        resolver = AttributeResolver(
+            "Book", {"writer": 10, "painter": 2}, profiles
+        )
+        assert not resolver.run().canonical_map
+
+
+class TestSubAttributes:
+    def test_specialising_modifier_recorded_not_merged(self):
+        resolver = AttributeResolver(
+            "University", {"library": 10, "main library": 4}
+        )
+        resolution = resolver.run()
+        assert "main library" not in resolution.canonical_map
+        assert resolution.sub_attributes == {"main library": "library"}
+
+    def test_no_parent_no_subattribute(self):
+        resolver = AttributeResolver("University", {"main gate": 4})
+        assert not resolver.run().sub_attributes
+
+
+class TestApplyResolution:
+    def test_predicates_rewritten(self):
+        resolver = AttributeResolver("Book", {"price": 10, "pricce": 2})
+        resolutions = {"Book": resolver.run()}
+        triples = [claim("book/1", "pricce", "9"), claim("book/1", "price", "9")]
+        rewritten = apply_resolution(
+            triples, resolutions, lambda subject: "Book"
+        )
+        assert {t.triple.predicate for t in rewritten} == {"price"}
+
+    def test_unknown_class_passthrough(self):
+        resolver = AttributeResolver("Book", {"price": 10, "pricce": 2})
+        resolutions = {"Book": resolver.run()}
+        triples = [claim("x/1", "pricce", "9")]
+        rewritten = apply_resolution(
+            triples, resolutions, lambda subject: None
+        )
+        assert rewritten[0].triple.predicate == "pricce"
+
+
+class TestBuildValueProfiles:
+    def test_profiles_casefold_values(self):
+        profiles = build_value_profiles(
+            [claim("b1", "author", "Jane"), claim("b2", "author", "JANE")]
+        )
+        assert profiles["author"] == {("b1", "jane"), ("b2", "jane")}

@@ -1,0 +1,138 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+
+from repro.evalx.metrics import (
+    PrecisionRecall,
+    attribute_discovery_metrics,
+    evaluate_fusion,
+    triple_precision,
+    true_value_keys,
+)
+from repro.fusion.base import FusionResult
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+
+
+class TestPrecisionRecall:
+    def test_values(self):
+        pr = PrecisionRecall(8, 2, 2)
+        assert pr.precision == 0.8
+        assert pr.recall == 0.8
+        assert pr.f1 == pytest.approx(0.8)
+
+    def test_zero_denominators(self):
+        pr = PrecisionRecall(0, 0, 0)
+        assert pr.precision == 0.0
+        assert pr.recall == 0.0
+        assert pr.f1 == 0.0
+
+
+class TestAttributeDiscoveryMetrics:
+    def test_perfect(self):
+        pr = attribute_discovery_metrics(["a", "b"], ["a", "b"])
+        assert pr.precision == 1.0 and pr.recall == 1.0
+
+    def test_partial(self):
+        pr = attribute_discovery_metrics(["a", "x"], ["a", "b"])
+        assert pr.precision == 0.5
+        assert pr.recall == 0.5
+
+    def test_empty_discovered(self):
+        pr = attribute_discovery_metrics([], ["a"])
+        assert pr.precision == 0.0
+        assert pr.recall == 0.0
+
+
+class TestWorldTruthHelpers:
+    def test_true_value_keys_casefolded(self, world):
+        entity = world.entities("Book")[0]
+        for attribute in world.attribute_names("Book"):
+            leaves = world.true_leaf_values(entity.entity_id, attribute)
+            if leaves:
+                keys = true_value_keys(world, entity.entity_id, attribute)
+                assert all(key == key.casefold() for key in keys)
+                return
+        pytest.fail("entity has no facts")
+
+    def test_triple_precision(self, world):
+        entity = world.entities("Book")[0]
+        good = None
+        for attribute in world.attribute_names("Book"):
+            leaves = sorted(world.true_leaf_values(entity.entity_id, attribute))
+            if leaves:
+                good = ScoredTriple(
+                    Triple(entity.entity_id, attribute, Value(leaves[0].upper())),
+                    Provenance("x", "dom"),
+                )
+                break
+        bad = ScoredTriple(
+            Triple(entity.entity_id, "author", Value("zz-wrong-zz")),
+            Provenance("x", "dom"),
+        )
+        assert triple_precision(world, [good, bad]) == 0.5
+        assert triple_precision(world, []) == 0.0
+
+
+class TestEvaluateFusion:
+    def test_scores_against_world(self, world):
+        entity = world.entities("Book")[0]
+        result = FusionResult("test")
+        scored_items = []
+        for attribute in world.attribute_names("Book"):
+            leaves = sorted(world.true_leaf_values(entity.entity_id, attribute))
+            if leaves:
+                item = (entity.entity_id, attribute)
+                result.truths[item] = {leaves[0].casefold()}
+                scored_items.append(item)
+            if len(scored_items) == 3:
+                break
+        report = evaluate_fusion(world, result)
+        assert report.items == 3
+        assert report.precision == 1.0
+
+    def test_wrong_value_counts_false_positive(self, world):
+        entity = world.entities("Book")[0]
+        attribute = next(
+            a
+            for a in world.attribute_names("Book")
+            if world.true_leaf_values(entity.entity_id, a)
+        )
+        result = FusionResult("test")
+        result.truths[(entity.entity_id, attribute)] = {"definitely wrong"}
+        report = evaluate_fusion(world, result)
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+
+    def test_unknown_item_counts_false_positive(self, world):
+        result = FusionResult("test")
+        result.truths[("martian/001", "color")] = {"red"}
+        report = evaluate_fusion(world, result)
+        assert report.precision == 0.0
+        assert report.answerable_items == 0
+
+
+class TestRemapSubjects:
+    def test_truths_and_beliefs_remapped(self):
+        from repro.evalx.metrics import remap_subjects
+
+        result = FusionResult("m")
+        result.truths[("new/book/0001", "author")] = {"jane"}
+        result.truths[("book/1", "genre")] = {"drama"}
+        result.belief[(("new/book/0001", "author"), "jane")] = 0.8
+        remapped = remap_subjects(result, {"new/book/0001": "book/9"})
+        assert ("book/9", "author") in remapped.truths
+        assert ("new/book/0001", "author") not in remapped.truths
+        assert ("book/1", "genre") in remapped.truths
+        assert remapped.belief[(("book/9", "author"), "jane")] == 0.8
+
+    def test_merge_on_collision_keeps_union_and_max(self):
+        from repro.evalx.metrics import remap_subjects
+
+        result = FusionResult("m")
+        result.truths[("a", "p")] = {"x"}
+        result.truths[("b", "p")] = {"y"}
+        result.belief[(("a", "p"), "x")] = 0.3
+        result.belief[(("b", "p"), "x")] = 0.9
+        remapped = remap_subjects(result, {"a": "c", "b": "c"})
+        assert remapped.truths[("c", "p")] == {"x", "y"}
+        assert remapped.belief[(("c", "p"), "x")] == 0.9

@@ -1,0 +1,36 @@
+"""Unit tests for table rendering."""
+
+from repro.evalx.tables import format_ratio, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(
+            ["Class", "Count"], [["Book", 21], ["University", 9]]
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("Class")
+        assert "University" in lines[3]
+        # All rows equally wide (aligned columns).
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_title(self):
+        table = render_table(["A"], [["x"]], title="Table 1")
+        assert table.splitlines()[0] == "Table 1"
+
+    def test_empty_rows(self):
+        table = render_table(["A", "B"], [])
+        assert "A" in table and "B" in table
+
+    def test_wide_cells_stretch_columns(self):
+        table = render_table(["H"], [["a-very-long-cell-value"]])
+        header, rule, row = table.splitlines()
+        assert len(header) == len(row)
+
+
+class TestFormatRatio:
+    def test_default_digits(self):
+        assert format_ratio(0.98765) == "0.988"
+
+    def test_custom_digits(self):
+        assert format_ratio(0.5, digits=1) == "0.5"

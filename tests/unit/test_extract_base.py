@@ -1,0 +1,48 @@
+"""Unit tests for shared extractor types."""
+
+from repro.extract.base import DiscoveredAttribute, ExtractorOutput
+
+
+class TestDiscoveredAttribute:
+    def test_merge_evidence(self):
+        record = DiscoveredAttribute(
+            "author", "Book", "kb", support=2, entity_support=1,
+            sources={"freebase"},
+        )
+        record.merge_evidence(3, 4, {"dbpedia"})
+        assert record.support == 5
+        assert record.entity_support == 4
+        assert record.sources == {"freebase", "dbpedia"}
+
+    def test_entity_support_keeps_max(self):
+        record = DiscoveredAttribute("a", "Book", "kb", entity_support=5)
+        record.merge_evidence(1, 2, set())
+        assert record.entity_support == 5
+
+
+class TestExtractorOutput:
+    def test_add_attribute_creates_record(self):
+        output = ExtractorOutput("dom")
+        record = output.add_attribute("Book", "author", support=2)
+        assert record.extractor_id == "dom"
+        assert output.attribute_count("Book") == 1
+
+    def test_add_attribute_reinforces(self):
+        output = ExtractorOutput("dom")
+        output.add_attribute("Book", "author", support=2, sources={"a"})
+        output.add_attribute("Book", "author", support=3, sources={"b"})
+        record = output.attributes["Book"]["author"]
+        assert record.support == 5
+        assert record.sources == {"a", "b"}
+        assert output.attribute_count("Book") == 1
+
+    def test_attribute_names(self):
+        output = ExtractorOutput("kb")
+        output.add_attribute("Book", "author")
+        output.add_attribute("Book", "genre")
+        output.add_attribute("Film", "director")
+        assert output.attribute_names("Book") == {"author", "genre"}
+        assert output.attribute_names("Hotel") == set()
+
+    def test_counts_for_unknown_class(self):
+        assert ExtractorOutput("kb").attribute_count("Nope") == 0

@@ -1,0 +1,98 @@
+"""Unit tests for the KB extractor (Table 2 mechanics)."""
+
+from repro.extract.kb import (
+    KbExtractor,
+    canonicalize_kb_name,
+    combine_kb_outputs,
+)
+from repro.synth.kb_snapshots import PAPER_TABLE2
+
+
+class TestCanonicalize:
+    def test_camel(self):
+        assert canonicalize_kb_name("publicationDate", "camel") == (
+            "publication date"
+        )
+
+    def test_snake_with_prefix(self):
+        assert canonicalize_kb_name("book/publication_date", "snake") == (
+            "publication date"
+        )
+
+    def test_label_passthrough(self):
+        assert canonicalize_kb_name("Publication Dates", "label") == (
+            "publication date"
+        )
+
+
+class TestKbExtractor:
+    def test_extraction_exceeds_schema(self, kb_pair):
+        freebase, dbpedia = kb_pair
+        for snapshot in (freebase, dbpedia):
+            extractor = KbExtractor(snapshot)
+            output = extractor.extract()
+            for class_name in snapshot.classes:
+                schema = extractor.schema_attribute_names(class_name)
+                extracted = output.attribute_names(class_name)
+                assert schema <= extracted
+                assert len(extracted) >= len(schema)
+
+    def test_extracted_counts_equal_instance_sets(self, kb_pair, world):
+        freebase, dbpedia = kb_pair
+        for snapshot, column in ((dbpedia, 1), (freebase, 3)):
+            output = KbExtractor(snapshot).extract()
+            for class_name, calibration in PAPER_TABLE2.items():
+                expected = min(
+                    calibration[column],
+                    len(world.attribute_names(class_name)),
+                )
+                assert output.attribute_count(class_name) == expected
+
+    def test_triples_canonicalised(self, kb_pair):
+        freebase, _ = kb_pair
+        output = KbExtractor(freebase).extract()
+        for scored in output.triples[:50]:
+            assert "/" not in scored.triple.predicate
+            assert "_" not in scored.triple.predicate
+            assert scored.provenance.extractor_id == "kb"
+            assert scored.provenance.source_id == "freebase"
+
+    def test_attributes_canonical_names(self, kb_pair, world):
+        _, dbpedia = kb_pair
+        output = KbExtractor(dbpedia).extract()
+        universe = set(world.attribute_names("Book"))
+        assert output.attribute_names("Book") <= universe
+
+
+class TestCombine:
+    def test_union_matches_paper_combined(self, kb_outputs, world):
+        combined = combine_kb_outputs(list(kb_outputs))
+        for class_name, calibration in PAPER_TABLE2.items():
+            expected = min(
+                calibration[4], len(world.attribute_names(class_name))
+            )
+            assert combined.attribute_count(class_name) == expected
+
+    def test_combined_at_least_each_input(self, kb_outputs):
+        combined = combine_kb_outputs(list(kb_outputs))
+        for output in kb_outputs:
+            for class_name in output.attributes:
+                assert output.attribute_names(class_name) <= (
+                    combined.attribute_names(class_name)
+                )
+
+    def test_triples_concatenated(self, kb_outputs):
+        combined = combine_kb_outputs(list(kb_outputs))
+        assert len(combined.triples) == sum(
+            len(output.triples) for output in kb_outputs
+        )
+
+    def test_sources_merged(self, kb_outputs):
+        combined = combine_kb_outputs(list(kb_outputs))
+        shared = [
+            record
+            for per_class in combined.attributes.values()
+            for record in per_class.values()
+            if len(record.sources) == 2
+        ]
+        assert shared  # overlap between the two KBs exists by design

@@ -1,0 +1,58 @@
+"""Unit tests for seed-set management."""
+
+from repro.extract.base import ExtractorOutput
+from repro.extract.seeds import SeedSet, build_seed_sets
+
+
+class TestSeedSet:
+    def test_add_canonicalises(self):
+        seeds = SeedSet("Book")
+        assert seeds.add("Publication_Dates")
+        assert "publication date" in seeds
+
+    def test_add_duplicate_false(self):
+        seeds = SeedSet("Book", ["author"])
+        assert not seeds.add("Author")
+
+    def test_add_empty_false(self):
+        assert not SeedSet("Book").add("  ")
+
+    def test_contains_normalises(self):
+        seeds = SeedSet("Book", ["birth place"])
+        assert "Birth-Place" in seeds
+        assert "death place" not in seeds
+
+    def test_iteration_sorted(self):
+        seeds = SeedSet("Book", ["zeta", "alpha"])
+        assert list(seeds) == ["alpha", "zeta"]
+
+    def test_copy_independent(self):
+        seeds = SeedSet("Book", ["author"])
+        clone = seeds.copy()
+        clone.add("genre")
+        assert len(seeds) == 1
+        assert len(clone) == 2
+
+
+class TestBuildSeedSets:
+    def _outputs(self):
+        kb = ExtractorOutput("kb")
+        kb.add_attribute("Book", "author", support=5)
+        kb.add_attribute("Book", "rare", support=1)
+        query = ExtractorOutput("querystream")
+        query.add_attribute("Book", "author", support=2)
+        query.add_attribute("Book", "price", support=3)
+        return [kb, query]
+
+    def test_union_across_extractors(self):
+        seeds = build_seed_sets(self._outputs(), ["Book", "Film"])
+        assert seeds["Book"].names() == {"author", "rare", "price"}
+        assert len(seeds["Film"]) == 0
+
+    def test_min_support_filters(self):
+        seeds = build_seed_sets(self._outputs(), ["Book"], min_support=3)
+        assert seeds["Book"].names() == {"author", "price"}
+
+    def test_support_sums_across_extractors(self):
+        seeds = build_seed_sets(self._outputs(), ["Book"], min_support=7)
+        assert seeds["Book"].names() == {"author"}

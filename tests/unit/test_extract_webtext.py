@@ -1,0 +1,154 @@
+"""Unit tests for the Web-text extractor (pattern learning + harvest)."""
+
+import pytest
+
+from repro.extract.seeds import SeedSet
+from repro.extract.webtext import WebTextExtractor, WebTextExtractorConfig
+from repro.rdf.ontology import Entity
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+from repro.synth.webtext import TextDocument
+
+
+@pytest.fixture
+def entity_index():
+    return {
+        "france": Entity("country/1", "France", "Country"),
+        "japan": Entity("country/2", "Japan", "Country"),
+    }
+
+
+def seed_claim(subject, predicate, value):
+    return ScoredTriple(
+        Triple(subject, predicate, Value(value)),
+        Provenance("freebase", "kb"),
+    )
+
+
+def doc(doc_id, text, class_name="Country", source="text.example.net"):
+    return TextDocument(doc_id, source, class_name, text, ())
+
+
+def make_extractor(entity_index, seeds=("capital",), claims=(), **kwargs):
+    return WebTextExtractor(
+        entity_index,
+        {"Country": SeedSet("Country", seeds)},
+        claims,
+        WebTextExtractorConfig(min_pattern_support=1,
+                               min_new_attribute_support=1, **kwargs),
+    )
+
+
+class TestLearning:
+    def test_learns_from_seed_sentence(self, entity_index):
+        extractor = make_extractor(
+            entity_index,
+            claims=[seed_claim("country/1", "capital", "Paris")],
+        )
+        adopted = extractor.learn(
+            [doc("d1", "The capital of France is Paris.")]
+        )
+        assert adopted == 1
+        assert "the <A> of <E> is <V> ." in extractor.learned_patterns
+
+    def test_no_learning_without_seed_value(self, entity_index):
+        extractor = make_extractor(entity_index, claims=[])
+        adopted = extractor.learn(
+            [doc("d1", "The capital of France is Paris.")]
+        )
+        assert adopted == 0
+
+    def test_no_learning_without_entity(self, entity_index):
+        extractor = make_extractor(
+            entity_index,
+            claims=[seed_claim("country/1", "capital", "Paris")],
+        )
+        adopted = extractor.learn(
+            [doc("d1", "The capital of Atlantis is Paris.")]
+        )
+        assert adopted == 0
+
+    def test_pattern_support_threshold(self, entity_index):
+        extractor = WebTextExtractor(
+            entity_index,
+            {"Country": SeedSet("Country", ["capital"])},
+            [seed_claim("country/1", "capital", "Paris")],
+            WebTextExtractorConfig(min_pattern_support=2),
+        )
+        adopted = extractor.learn(
+            [doc("d1", "The capital of France is Paris.")]
+        )
+        assert adopted == 0  # support 1 < 2
+
+    def test_unknown_class_documents_ignored(self, entity_index):
+        extractor = make_extractor(
+            entity_index,
+            claims=[seed_claim("country/1", "capital", "Paris")],
+        )
+        adopted = extractor.learn(
+            [doc("d1", "The capital of France is Paris.", class_name="Comet")]
+        )
+        assert adopted == 0
+
+
+class TestExtraction:
+    def _learned(self, entity_index):
+        extractor = make_extractor(
+            entity_index,
+            claims=[seed_claim("country/1", "capital", "Paris")],
+        )
+        extractor.learn([doc("d1", "The capital of France is Paris.")])
+        return extractor
+
+    def test_harvests_new_fact_via_pattern(self, entity_index):
+        extractor = self._learned(entity_index)
+        output = extractor.extract(
+            [doc("d2", "The currency of Japan is Yen.")]
+        )
+        facts = {
+            (s.triple.subject, s.triple.predicate, s.triple.obj.lexical)
+            for s in output.triples
+        }
+        assert ("country/2", "currency", "Yen") in facts
+
+    def test_new_attribute_reported(self, entity_index):
+        extractor = self._learned(entity_index)
+        output = extractor.extract(
+            [doc("d2", "The currency of Japan is Yen.")]
+        )
+        assert "currency" in output.attribute_names("Country")
+
+    def test_seed_attribute_not_reported_as_new(self, entity_index):
+        extractor = self._learned(entity_index)
+        output = extractor.extract(
+            [doc("d2", "The capital of Japan is Tokyo.")]
+        )
+        assert "capital" not in output.attribute_names("Country")
+        assert output.triples  # but the fact is still harvested
+
+    def test_numeric_attribute_filtered(self, entity_index):
+        extractor = self._learned(entity_index)
+        output = extractor.extract([doc("d2", "The 99 of Japan is Yen.")])
+        assert not output.triples
+
+    def test_provenance_carries_doc(self, entity_index):
+        extractor = self._learned(entity_index)
+        output = extractor.extract(
+            [doc("d2", "The currency of Japan is Yen.", source="text.abc.net")]
+        )
+        assert output.triples[0].provenance.source_id == "text.abc.net"
+        assert output.triples[0].provenance.locator == "d2"
+
+
+class TestOnGeneratedCorpus:
+    def test_end_to_end(self, world, seed_sets, combined_kb_output,
+                        webtext_documents):
+        extractor = WebTextExtractor(
+            world.entity_index(), seed_sets, combined_kb_output.triples
+        )
+        adopted = extractor.learn(webtext_documents)
+        assert adopted >= 3  # the corpus realises four templates
+        output = extractor.extract(webtext_documents)
+        assert output.triples
+        from repro.evalx.metrics import triple_precision
+
+        assert triple_precision(world, output.triples) > 0.6

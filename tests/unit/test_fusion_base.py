@@ -1,0 +1,119 @@
+"""Unit tests for the fusion claim model."""
+
+import pytest
+
+from repro.errors import FusionError
+from repro.fusion.base import (
+    Claim,
+    ClaimSet,
+    FusionResult,
+    normalize_beliefs,
+    value_key,
+)
+from repro.fusion.vote import Vote
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+
+
+def claim(item, value, source, extractor="ex", confidence=1.0):
+    return Claim(item, value_key(value), value, source, extractor, confidence)
+
+
+class TestValueKey:
+    def test_casefolds(self):
+        assert value_key("Paris") == value_key("PARIS")
+
+    def test_collapses_whitespace(self):
+        assert value_key("  New   York ") == "new york"
+
+
+class TestClaimSet:
+    def test_deduplicates_identical_claims(self):
+        claims = ClaimSet(
+            [
+                claim(("s", "p"), "v", "a"),
+                claim(("s", "p"), "v", "a"),
+            ]
+        )
+        assert len(claims) == 1
+
+    def test_dedup_keeps_max_confidence(self):
+        claims = ClaimSet(
+            [
+                claim(("s", "p"), "v", "a", confidence=0.2),
+                claim(("s", "p"), "v", "a", confidence=0.9),
+                claim(("s", "p"), "v", "a", confidence=0.5),
+            ]
+        )
+        assert next(iter(claims)).confidence == 0.9
+
+    def test_same_value_different_sources_kept(self):
+        claims = ClaimSet(
+            [claim(("s", "p"), "v", "a"), claim(("s", "p"), "v", "b")]
+        )
+        assert len(claims) == 2
+        assert claims.sources() == {"a", "b"}
+
+    def test_values_of(self):
+        claims = ClaimSet(
+            [
+                claim(("s", "p"), "v1", "a"),
+                claim(("s", "p"), "v2", "b"),
+                claim(("s", "q"), "v1", "a"),
+            ]
+        )
+        values = claims.values_of(("s", "p"))
+        assert set(values) == {"v1", "v2"}
+
+    def test_sources_claiming(self):
+        claims = ClaimSet(
+            [claim(("s", "p"), "v1", "a"), claim(("s", "p"), "v2", "b")]
+        )
+        assert claims.sources_claiming(("s", "p")) == {"a", "b"}
+        assert claims.sources_claiming(("x", "y")) == set()
+
+    def test_reindex_after_mutation(self):
+        claims = ClaimSet([claim(("s", "p"), "v1", "a")])
+        assert claims.items() == [("s", "p")]
+        claims.add(claim(("s", "q"), "v1", "a"))
+        assert set(claims.items()) == {("s", "p"), ("s", "q")}
+
+    def test_from_scored_triples(self):
+        scored = ScoredTriple(
+            Triple("s", "p", Value("PARIS")),
+            Provenance("src", "dom"),
+            0.7,
+        )
+        claims = ClaimSet.from_scored_triples([scored])
+        only = next(iter(claims))
+        assert only.value == "paris"
+        assert only.lexical == "PARIS"
+        assert only.extractor_id == "dom"
+        assert only.confidence == 0.7
+
+
+class TestFusionResult:
+    def test_is_true_and_belief(self):
+        result = FusionResult("m")
+        result.truths[("s", "p")] = {"v"}
+        result.belief[(("s", "p"), "v")] = 0.9
+        assert result.is_true(("s", "p"), "v")
+        assert not result.is_true(("s", "p"), "w")
+        assert result.belief_of(("s", "p"), "v") == 0.9
+        assert result.belief_of(("s", "p"), "w") == 0.0
+
+
+class TestGuards:
+    def test_empty_claims_rejected(self):
+        with pytest.raises(FusionError):
+            Vote().fuse(ClaimSet())
+
+
+class TestNormalizeBeliefs:
+    def test_scales_to_unit_max(self):
+        assert normalize_beliefs({"a": 2.0, "b": 1.0}) == {"a": 1.0, "b": 0.5}
+
+    def test_empty(self):
+        assert normalize_beliefs({}) == {}
+
+    def test_all_zero(self):
+        assert normalize_beliefs({"a": 0.0}) == {"a": 0.0}

@@ -1,0 +1,115 @@
+"""Unit tests for gold-standard source calibration."""
+
+import pytest
+
+from repro.errors import FusionError
+from repro.fusion.accu import Accu
+from repro.fusion.base import Claim, ClaimSet
+from repro.fusion.calibration import (
+    calibrate_sources,
+    claim_world_oracle,
+    world_oracle,
+)
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+
+
+def claim(item, value, source):
+    return Claim(item, value, value, source, "ex")
+
+
+class TestValidation:
+    def test_bad_fraction_rejected(self):
+        claims = ClaimSet([claim(("e", "p"), "v", "s")])
+        with pytest.raises(FusionError):
+            calibrate_sources(claims, lambda i, v: True, label_fraction=0)
+
+    def test_empty_claims_rejected(self):
+        with pytest.raises(FusionError):
+            calibrate_sources(ClaimSet(), lambda i, v: True)
+
+
+class TestEstimates:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return generate_claim_world(
+            ClaimWorldConfig(
+                seed=3, n_items=120, n_sources=8,
+                source_accuracies=[0.95, 0.9, 0.9, 0.85, 0.4, 0.4, 0.35, 0.3],
+                false_pool=3,
+            )
+        )
+
+    def test_orders_sources_correctly(self, world):
+        calibration = calibrate_sources(
+            world.claims, claim_world_oracle(world), label_fraction=0.5
+        )
+        good = [s for s, a in world.source_accuracy.items() if a > 0.8]
+        bad = [s for s, a in world.source_accuracy.items() if a < 0.5]
+        avg = lambda xs: sum(calibration.accuracy[s] for s in xs) / len(xs)
+        assert avg(good) > avg(bad) + 0.2
+
+    def test_estimates_in_unit_interval(self, world):
+        calibration = calibrate_sources(
+            world.claims, claim_world_oracle(world), label_fraction=0.3
+        )
+        for table in (
+            calibration.accuracy,
+            calibration.sensitivity,
+            calibration.specificity,
+        ):
+            assert all(0.0 <= v <= 1.0 for v in table.values())
+
+    def test_label_budget_respected(self, world):
+        calibration = calibrate_sources(
+            world.claims, claim_world_oracle(world),
+            label_fraction=1.0, max_labels=10,
+        )
+        assert calibration.labeled_items == 10
+
+    def test_deterministic_given_seed(self, world):
+        oracle = claim_world_oracle(world)
+        first = calibrate_sources(world.claims, oracle, seed=5)
+        second = calibrate_sources(world.claims, oracle, seed=5)
+        assert first.accuracy == second.accuracy
+
+    def test_smoothing_anchors_unlabeled_sources(self):
+        claims = ClaimSet(
+            [claim(("e0", "p"), "v", "seen"),
+             claim(("e1", "p"), "v", "unseen")]
+        )
+        calibration = calibrate_sources(
+            claims, lambda item, value: True,
+            label_fraction=1.0, max_labels=1, seed=0,
+        )
+        # One of the two sources has no labelled claims; smoothing puts
+        # it at exactly 0.5.
+        assert 0.5 in calibration.accuracy.values()
+
+    def test_improves_single_round_accu(self, world):
+        calibration = calibrate_sources(
+            world.claims, claim_world_oracle(world), label_fraction=0.2
+        )
+        default = Accu(max_iterations=1).fuse(world.claims)
+        seeded = Accu(
+            initial_accuracies=calibration.accuracy, max_iterations=1
+        ).fuse(world.claims)
+        assert world.precision_of(seeded.truths) >= world.precision_of(
+            default.truths
+        )
+
+
+class TestGroundTruthWorldOracle:
+    def test_oracle_respects_hierarchy(self, world):
+        oracle = world_oracle(world)
+        entity = world.entities("Country")[0]
+        for attribute in world.attribute_names("Country"):
+            leaves = world.true_leaf_values(entity.entity_id, attribute)
+            if leaves and world.hierarchy.ancestors(next(iter(leaves))):
+                leaf = next(iter(leaves))
+                parent = world.hierarchy.parent(leaf)
+                item = (entity.entity_id, attribute)
+                assert oracle(item, leaf.casefold())
+                assert oracle(item, parent.casefold())
+                assert not oracle(item, "xx-no-such-value")
+                return
+        pytest.fail("no hierarchical fact found")

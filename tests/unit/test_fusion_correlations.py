@@ -1,0 +1,117 @@
+"""Unit tests for correlation (copy) detection."""
+
+import pytest
+
+from repro.fusion.base import Claim, ClaimSet
+from repro.fusion.correlations import CorrelationEstimator
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+
+
+def claim(item, value, source, extractor="ex"):
+    return Claim(item, value, value, source, extractor)
+
+
+class TestValidation:
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelationEstimator(by="planet")
+
+
+class TestPairDependence:
+    def test_perfect_copiers_high_dependence(self):
+        claims = ClaimSet()
+        for index in range(10):
+            item = (f"e{index}", "a")
+            value = f"v{index}"
+            claims.add(claim(item, value, "left"))
+            claims.add(claim(item, value, "right"))
+            # Independent witnesses claiming other values make the
+            # pair's persistent agreement on unseen values suspicious.
+            claims.add(claim(item, f"w{index}-1", f"bg{index % 4}-1"))
+            claims.add(claim(item, f"w{index}-2", f"bg{index % 4}-2"))
+        estimate = CorrelationEstimator(min_common_items=3).estimate(claims)
+        assert estimate.pair("left", "right") > 0.9
+
+    def test_unwitnessed_agreement_weakly_informative(self):
+        claims = ClaimSet()
+        for index in range(10):
+            item = (f"e{index}", "a")
+            claims.add(claim(item, f"v{index}", "left"))
+            claims.add(claim(item, f"v{index}", "right"))
+        estimate = CorrelationEstimator(min_common_items=3).estimate(claims)
+        # Two honest sources on two-source items look the same; the
+        # dependence stays below the discount threshold.
+        assert estimate.pair("left", "right") < 0.25
+
+    def test_disagreeing_sources_low_dependence(self):
+        claims = ClaimSet()
+        for index in range(10):
+            item = (f"e{index}", "a")
+            claims.add(claim(item, f"v{index}-l", "left"))
+            claims.add(claim(item, f"v{index}-r", "right"))
+        estimate = CorrelationEstimator(min_common_items=3).estimate(claims)
+        assert estimate.pair("left", "right") < 0.1
+
+    def test_insufficient_overlap_skipped(self):
+        claims = ClaimSet(
+            [
+                claim(("e1", "a"), "v", "left"),
+                claim(("e1", "a"), "v", "right"),
+            ]
+        )
+        estimate = CorrelationEstimator(min_common_items=3).estimate(claims)
+        assert estimate.pair("left", "right") == 0.0
+
+    def test_rare_agreement_weighs_more_than_popular(self):
+        claims = ClaimSet()
+        # Ten independent sources agree on the popular value for items
+        # 0-9; 'a' and 'b' also agree, so their agreements are popular.
+        for index in range(10):
+            item = (f"e{index}", "x")
+            for source in [f"s{i}" for i in range(10)] + ["a", "b"]:
+                claims.add(claim(item, "popular", source))
+        # 'c' and 'd' agree on values nobody else claims.
+        for index in range(10):
+            item = (f"e{index}", "x")
+            claims.add(claim(item, f"rare{index}", "c"))
+            claims.add(claim(item, f"rare{index}", "d"))
+        estimate = CorrelationEstimator(min_common_items=3).estimate(claims)
+        assert estimate.pair("c", "d") > estimate.pair("a", "b")
+
+
+class TestWeights:
+    def test_copiers_get_discounted(self):
+        world = generate_claim_world(
+            ClaimWorldConfig(seed=3, n_items=60, n_sources=6, copier_cliques=1)
+        )
+        estimate = CorrelationEstimator().estimate(world.claims)
+        copier_weights = [
+            estimate.weights[s] for s in world.copier_of
+        ]
+        independent_weights = [
+            estimate.weights[s]
+            for s in world.claims.sources()
+            if s not in world.copier_of and not s.startswith("leader")
+        ]
+        assert max(copier_weights) < min(independent_weights)
+
+    def test_weights_in_unit_interval(self):
+        world = generate_claim_world(
+            ClaimWorldConfig(seed=5, n_items=40, n_sources=6)
+        )
+        estimate = CorrelationEstimator().estimate(world.claims)
+        assert all(0 < w <= 1 for w in estimate.weights.values())
+
+
+class TestExtractorDimension:
+    def test_correlates_extractors(self):
+        claims = ClaimSet()
+        for index in range(8):
+            item = (f"e{index}", "a")
+            claims.add(claim(item, f"v{index}", "s1", extractor="dom"))
+            claims.add(claim(item, f"v{index}", "s2", extractor="domcopy"))
+            claims.add(claim(item, f"w{index}", "s3", extractor="text"))
+        estimate = CorrelationEstimator(
+            by="extractor", min_common_items=3
+        ).estimate(claims)
+        assert estimate.pair("dom", "domcopy") > estimate.pair("dom", "text")

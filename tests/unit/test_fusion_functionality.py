@@ -1,0 +1,123 @@
+"""Unit tests for functionality-degree estimation."""
+
+import pytest
+
+from repro.errors import FusionError
+from repro.fusion.base import Claim, ClaimSet
+from repro.fusion.functionality import (
+    FunctionalityEstimator,
+    functional_oracle_from_claims,
+)
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+
+
+def claim(subject, predicate, value, source):
+    return Claim((subject, predicate), value, value, source, "ex")
+
+
+def functional_vs_multivalued_claims():
+    """'birthdate' single-valued per source; 'child' multi-valued."""
+    claims = ClaimSet()
+    for index in range(6):
+        subject = f"p{index}"
+        for source in ("s1", "s2"):
+            claims.add(claim(subject, "birthdate", f"date-{index}", source))
+            claims.add(claim(subject, "child", f"kid-{index}-a", source))
+            claims.add(claim(subject, "child", f"kid-{index}-b", source))
+            claims.add(claim(subject, "child", f"kid-{index}-c", source))
+    return claims
+
+
+class TestEstimator:
+    def test_bad_min_observations(self):
+        with pytest.raises(FusionError):
+            FunctionalityEstimator(min_observations=0)
+
+    def test_functional_predicate_degree_one(self):
+        estimate = FunctionalityEstimator().estimate(
+            functional_vs_multivalued_claims()
+        )
+        assert estimate.of("birthdate") == 1.0
+
+    def test_multivalued_predicate_low_degree(self):
+        estimate = FunctionalityEstimator().estimate(
+            functional_vs_multivalued_claims()
+        )
+        assert estimate.of("child") == pytest.approx(1 / 3)
+
+    def test_cross_source_conflict_not_multivalued(self):
+        # Two sources disagreeing on one value each: still functional.
+        claims = ClaimSet()
+        for index in range(6):
+            claims.add(claim(f"e{index}", "capital", f"a{index}", "s1"))
+            claims.add(claim(f"e{index}", "capital", f"b{index}", "s2"))
+        estimate = FunctionalityEstimator().estimate(claims)
+        assert estimate.of("capital") == 1.0
+
+    def test_sparse_predicates_keep_default(self):
+        claims = ClaimSet(
+            [claim("e1", "rare", "v1", "s1"), claim("e1", "rare", "v2", "s1")]
+        )
+        estimate = FunctionalityEstimator(min_observations=5).estimate(claims)
+        assert estimate.of("rare") == 1.0
+
+    def test_is_functional_threshold(self):
+        estimate = FunctionalityEstimator().estimate(
+            functional_vs_multivalued_claims()
+        )
+        assert estimate.is_functional("birthdate")
+        assert not estimate.is_functional("child")
+
+
+class TestOracle:
+    def test_oracle_on_synthetic_world(self):
+        # truths_per_item up to 3 and honest sources assert all truths.
+        multi = generate_claim_world(
+            ClaimWorldConfig(
+                seed=3, n_items=60, n_sources=8, truths_per_item=3,
+                source_accuracies=[0.9] * 8,
+            )
+        )
+        oracle = functional_oracle_from_claims(multi.claims)
+        assert not oracle("attr")  # the generator's single predicate
+
+        single = generate_claim_world(
+            ClaimWorldConfig(
+                seed=3, n_items=60, n_sources=8, truths_per_item=1,
+                source_accuracies=[0.9] * 8,
+            )
+        )
+        oracle = functional_oracle_from_claims(single.claims)
+        assert oracle("attr")
+
+    def test_oracle_unknown_predicate_defaults_functional(self):
+        world = generate_claim_world(ClaimWorldConfig(seed=1, n_items=20))
+        oracle = functional_oracle_from_claims(world.claims)
+        assert oracle("never seen")
+
+
+class TestPipelineAgreement:
+    def test_estimated_functionality_matches_schema(self, world,
+                                                    combined_kb_output):
+        """The unsupervised estimate agrees with the ground-truth schema
+        on the majority of well-observed attributes."""
+        from repro.fusion.base import ClaimSet as CS
+        from repro.fusion.functionality import FunctionalityEstimator
+
+        claims = CS.from_scored_triples(combined_kb_output.triples)
+        estimate = FunctionalityEstimator(min_observations=8).estimate(claims)
+        schema = {}
+        for class_name in world.classes():
+            for spec in world.catalogs[class_name].attributes:
+                schema.setdefault(spec.name, spec.functional)
+        checked = 0
+        agreements = 0
+        for predicate, degree in estimate.degree.items():
+            if predicate not in schema:
+                continue
+            checked += 1
+            agreements += (
+                estimate.is_functional(predicate) == schema[predicate]
+            )
+        assert checked > 20
+        assert agreements / checked > 0.8

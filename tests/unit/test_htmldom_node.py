@@ -1,0 +1,80 @@
+"""Unit tests for the DOM node model (direct construction)."""
+
+from repro.htmldom.node import Document, ElementNode, TextNode
+
+
+def sample_tree():
+    doc = Document()
+    html = doc.append_element("html")
+    body = html.append_element("body")
+    div = body.append_element("div", {"class": "main", "id": "content"})
+    div.append_text("hello")
+    span = div.append_element("span")
+    span.append_text("world")
+    body.append_element("div", {"class": "footer"})
+    return doc
+
+
+class TestConstruction:
+    def test_append_sets_parent(self):
+        doc = sample_tree()
+        div = doc.find("div")
+        assert div.parent.tag == "body"
+
+    def test_append_text_returns_node(self):
+        element = ElementNode("p")
+        text = element.append_text("x")
+        assert isinstance(text, TextNode)
+        assert text.parent is element
+
+    def test_tag_lowercased(self):
+        assert ElementNode("DIV").tag == "div"
+
+    def test_root(self):
+        doc = sample_tree()
+        deepest = list(doc.iter_text_nodes())[-1]
+        assert deepest.root() is doc
+
+
+class TestTraversal:
+    def test_iter_nodes_preorder(self):
+        doc = sample_tree()
+        tags = [
+            node.tag
+            for node in doc.iter_nodes()
+            if isinstance(node, ElementNode)
+        ]
+        assert tags == ["#document", "html", "body", "div", "span", "div"]
+
+    def test_iter_elements_filtered(self):
+        doc = sample_tree()
+        assert len(list(doc.iter_elements("div"))) == 2
+
+    def test_find_first_match(self):
+        doc = sample_tree()
+        assert doc.find("div").get("id") == "content"
+
+    def test_find_missing_returns_none(self):
+        assert sample_tree().find("table") is None
+
+    def test_find_all_excludes_self(self):
+        doc = sample_tree()
+        div = doc.find("div")
+        assert div.find_all("div") == []
+
+    def test_text_content_joins_with_space(self):
+        assert sample_tree().text_content() == "hello world"
+
+    def test_get_with_default(self):
+        doc = sample_tree()
+        assert doc.find("div").get("missing", "?") == "?"
+
+    def test_document_properties(self):
+        doc = sample_tree()
+        assert doc.html.tag == "html"
+        assert doc.body.tag == "body"
+
+    def test_empty_document_properties(self):
+        doc = Document()
+        assert doc.html is None
+        assert doc.body is None

@@ -1,0 +1,112 @@
+"""Unit tests for the HTML parser (tree construction)."""
+
+from repro.htmldom.node import ElementNode, TextNode
+from repro.htmldom.parser import parse_fragment, parse_html
+
+
+class TestBasicTrees:
+    def test_nested_structure(self):
+        doc = parse_html("<html><body><p>hi</p></body></html>")
+        body = doc.body
+        assert body is not None
+        paragraph = body.find("p")
+        assert paragraph.text_content() == "hi"
+
+    def test_document_root_tag(self):
+        doc = parse_html("<p>x</p>")
+        assert doc.tag == "#document"
+
+    def test_html_property(self):
+        assert parse_html("<html></html>").html is not None
+        assert parse_html("<p>x</p>").html is None
+
+    def test_attributes_preserved(self):
+        doc = parse_html('<div id="main" class="wide"></div>')
+        div = doc.find("div")
+        assert div.get("id") == "main"
+        assert div.get("missing", "d") == "d"
+
+    def test_void_element_has_no_children(self):
+        doc = parse_html("<p>a<br>b</p>")
+        paragraph = doc.find("p")
+        tags = [
+            child.tag
+            for child in paragraph.children
+            if isinstance(child, ElementNode)
+        ]
+        assert tags == ["br"]
+        assert paragraph.text_content() == "a b"
+
+    def test_parent_links(self):
+        doc = parse_html("<div><span>x</span></div>")
+        span = doc.find("span")
+        assert span.parent.tag == "div"
+        text = span.children[0]
+        assert isinstance(text, TextNode)
+        assert text.root() is doc
+
+
+class TestImpliedEndTags:
+    def test_li_closes_li(self):
+        doc = parse_html("<ul><li>a<li>b<li>c</ul>")
+        items = doc.find_all("li")
+        assert [li.text_content() for li in items] == ["a", "b", "c"]
+        # siblings, not nested
+        assert all(li.parent.tag == "ul" for li in items)
+
+    def test_p_closes_p(self):
+        doc = parse_html("<p>one<p>two")
+        paragraphs = doc.find_all("p")
+        assert len(paragraphs) == 2
+
+    def test_table_cells_close_each_other(self):
+        doc = parse_html("<table><tr><td>a<td>b<tr><td>c</table>")
+        rows = doc.find_all("tr")
+        assert len(rows) == 2
+        assert len(rows[0].find_all("td")) == 2
+
+    def test_dt_dd_close_each_other(self):
+        doc = parse_html("<dl><dt>k<dd>v<dt>k2<dd>v2</dl>")
+        assert len(doc.find_all("dt")) == 2
+        assert len(doc.find_all("dd")) == 2
+
+
+class TestRecovery:
+    def test_stray_end_tag_ignored(self):
+        doc = parse_html("<div>a</span>b</div>")
+        # Adjacent text runs are normalised into one node.
+        div = doc.find("div")
+        assert div.text_content() == "ab"
+        assert len(div.children) == 1
+
+    def test_unclosed_elements_at_eof(self):
+        doc = parse_html("<div><p>open")
+        assert doc.find("p").text_content() == "open"
+
+    def test_mismatched_close_pops_to_match(self):
+        doc = parse_html("<div><span>x</div>y")
+        div = doc.find("div")
+        assert div.text_content() == "x"
+
+    def test_comments_dropped(self):
+        doc = parse_html("<div><!-- note -->x</div>")
+        assert doc.find("div").text_content() == "x"
+
+
+class TestTraversal:
+    def test_iter_text_nodes_skips_blank(self):
+        doc = parse_html("<div>  <p>a</p>\n<p>b</p> </div>")
+        assert [t.text for t in doc.iter_text_nodes()] == ["a", "b"]
+
+    def test_iter_elements_by_tag(self):
+        doc = parse_html("<div><p>a</p><span><p>b</p></span></div>")
+        assert len(list(doc.iter_elements("p"))) == 2
+
+    def test_document_order(self):
+        doc = parse_html("<div><p>1</p><p>2</p><p>3</p></div>")
+        texts = [t.text for t in doc.iter_text_nodes()]
+        assert texts == ["1", "2", "3"]
+
+    def test_parse_fragment(self):
+        nodes = parse_fragment("<p>a</p><p>b</p>")
+        assert len(nodes) == 2

@@ -1,0 +1,54 @@
+"""Unit tests for DOM serialisation."""
+
+from repro.htmldom.node import Document, ElementNode, TextNode
+from repro.htmldom.parser import parse_html
+from repro.htmldom.serialize import to_html
+
+
+class TestSerialize:
+    def test_simple_roundtrip(self):
+        markup = "<div><p>hello</p></div>"
+        assert to_html(parse_html(markup)) == markup
+
+    def test_attributes_rendered(self):
+        markup = '<a href="x.html">link</a>'
+        assert to_html(parse_html(markup)) == markup
+
+    def test_text_escaped(self):
+        doc = Document()
+        doc.append_element("p").append_text("a < b & c")
+        assert to_html(doc) == "<p>a &lt; b &amp; c</p>"
+
+    def test_attribute_quotes_escaped(self):
+        doc = Document()
+        doc.append_element("div", {"title": 'say "hi"'})
+        assert '&quot;hi&quot;' in to_html(doc)
+
+    def test_void_element(self):
+        doc = Document()
+        doc.append_element("br")
+        assert to_html(doc) == "<br/>"
+
+    def test_document_root_invisible(self):
+        doc = Document()
+        doc.append_element("p").append_text("x")
+        assert to_html(doc) == "<p>x</p>"
+
+    def test_bare_text_node(self):
+        assert to_html(TextNode("plain")) == "plain"
+
+    def test_nested_roundtrip_stable(self):
+        markup = (
+            '<html><head><title>t</title></head><body>'
+            '<table class="x"><tr><th>K</th><td>V</td></tr></table>'
+            "</body></html>"
+        )
+        once = to_html(parse_html(markup))
+        twice = to_html(parse_html(once))
+        assert once == twice == markup
+
+    def test_manual_tree(self):
+        root = ElementNode("ul")
+        li = root.append_element("li")
+        li.append_text("item")
+        assert to_html(root) == "<ul><li>item</li></ul>"

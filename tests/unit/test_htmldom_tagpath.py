@@ -1,0 +1,117 @@
+"""Unit tests for tag paths and tag-path similarity."""
+
+import pytest
+
+from repro.htmldom.parser import parse_html
+from repro.htmldom.tagpath import (
+    RelativeTagPath,
+    absolute_path,
+    relative_path,
+    sequence_similarity,
+)
+
+MARKUP = """
+<html><body>
+  <h1 class="entity-name">France</h1>
+  <table class="infobox">
+    <tr><th>Capital</th><td><b>Paris</b></td></tr>
+    <tr><th>Population</th><td>67M</td></tr>
+  </table>
+</body></html>
+"""
+
+
+@pytest.fixture
+def nodes():
+    doc = parse_html(MARKUP)
+    return {t.text: t for t in doc.iter_text_nodes()}
+
+
+class TestAbsolutePath:
+    def test_text_node_path(self, nodes):
+        assert absolute_path(nodes["Capital"]) == (
+            "html", "body", "table", "tr", "th",
+        )
+
+    def test_noisy_tags_removed(self, nodes):
+        assert absolute_path(nodes["Paris"]) == (
+            "html", "body", "table", "tr", "td",
+        )
+
+    def test_noisy_tags_kept_when_clean_false(self, nodes):
+        assert absolute_path(nodes["Paris"], clean=False)[-1] == "b"
+
+    def test_with_classes(self, nodes):
+        path = absolute_path(nodes["France"], with_classes=True)
+        assert path[-1] == "h1.entity-name"
+
+    def test_element_path_includes_self(self, nodes):
+        table = nodes["Capital"].parent.parent.parent
+        assert absolute_path(table)[-1] == "table"
+
+
+class TestSequenceSimilarity:
+    def test_identical(self):
+        assert sequence_similarity(("a", "b"), ("a", "b")) == 1.0
+
+    def test_empty_both(self):
+        assert sequence_similarity((), ()) == 1.0
+
+    def test_disjoint(self):
+        assert sequence_similarity(("a",), ("b",)) == 0.0
+
+    def test_one_edit(self):
+        assert sequence_similarity(("a", "b", "c"), ("a", "x", "c")) == (
+            pytest.approx(2 / 3)
+        )
+
+    def test_length_mismatch(self):
+        assert 0 < sequence_similarity(("a", "b"), ("a", "b", "c")) < 1
+
+    def test_symmetry(self):
+        left, right = ("a", "b", "c"), ("a", "c")
+        assert sequence_similarity(left, right) == sequence_similarity(
+            right, left
+        )
+
+
+class TestRelativePath:
+    def test_between_heading_and_label(self, nodes):
+        path = relative_path(nodes["France"], nodes["Capital"])
+        assert path.up == ("h1",)
+        assert path.lca == "body"
+        assert path.down == ("table", "tr", "th")
+
+    def test_same_shape_labels_have_equal_paths(self, nodes):
+        path_one = relative_path(nodes["France"], nodes["Capital"])
+        path_two = relative_path(nodes["France"], nodes["Population"])
+        assert path_one == path_two
+        assert path_one.similarity(path_two) == 1.0
+
+    def test_label_vs_value_differ(self, nodes):
+        label = relative_path(nodes["France"], nodes["Capital"])
+        value = relative_path(nodes["France"], nodes["Paris"])
+        assert label != value
+        assert label.similarity(value) < 1.0
+
+    def test_lca_mismatch_halves_similarity(self):
+        left = RelativeTagPath(("h1",), "body", ("table", "tr", "th"))
+        right = RelativeTagPath(("h1",), "div", ("table", "tr", "th"))
+        assert right.similarity(left) == 0.5
+
+    def test_different_documents_rejected(self, nodes):
+        other = parse_html(MARKUP)
+        foreign = next(other.iter_text_nodes())
+        with pytest.raises(ValueError):
+            relative_path(nodes["France"], foreign)
+
+    def test_str_rendering(self):
+        path = RelativeTagPath(("h1",), "body", ("table", "tr"))
+        assert str(path) == "h1 ^body table/tr"
+
+    def test_with_classes(self, nodes):
+        path = relative_path(
+            nodes["France"], nodes["Capital"], with_classes=True
+        )
+        assert path.up == ("h1.entity-name",)
+        assert path.down == ("table.infobox", "tr", "th")

@@ -1,0 +1,120 @@
+"""Unit tests for the HTML tokenizer."""
+
+from repro.htmldom.tokenizer import TokenType, tokenize
+
+
+def kinds(markup):
+    return [(token.type, token.data) for token in tokenize(markup)]
+
+
+class TestBasicTokens:
+    def test_start_and_end_tags(self):
+        assert kinds("<p>hi</p>") == [
+            (TokenType.START_TAG, "p"),
+            (TokenType.TEXT, "hi"),
+            (TokenType.END_TAG, "p"),
+        ]
+
+    def test_tag_names_lowercased(self):
+        assert tokenize("<DIV></DIV>")[0].data == "div"
+
+    def test_void_element_self_closing(self):
+        tokens = tokenize("<br>")
+        assert tokens[0].type is TokenType.SELF_CLOSING
+
+    def test_explicit_self_closing(self):
+        tokens = tokenize("<widget/>")
+        assert tokens[0].type is TokenType.SELF_CLOSING
+
+    def test_text_entity_unescaped(self):
+        tokens = tokenize("a &amp; b")
+        assert tokens[0].data == "a & b"
+
+
+class TestAttributes:
+    def test_double_quoted(self):
+        token = tokenize('<a href="x.html">')[0]
+        assert token.attrs == {"href": "x.html"}
+
+    def test_single_quoted(self):
+        token = tokenize("<a href='x.html'>")[0]
+        assert token.attrs == {"href": "x.html"}
+
+    def test_unquoted(self):
+        token = tokenize("<a href=x.html>")[0]
+        assert token.attrs == {"href": "x.html"}
+
+    def test_boolean_attribute(self):
+        token = tokenize("<input disabled>")[0]
+        assert token.attrs == {"disabled": ""}
+
+    def test_multiple_attributes(self):
+        token = tokenize('<div id="a" class="b c">')[0]
+        assert token.attrs == {"id": "a", "class": "b c"}
+
+    def test_attribute_entity_unescaped(self):
+        token = tokenize('<div title="a &amp; b">')[0]
+        assert token.attrs["title"] == "a & b"
+
+    def test_attribute_names_lowercased(self):
+        token = tokenize('<div CLASS="x">')[0]
+        assert "class" in token.attrs
+
+
+class TestCommentsAndDoctype:
+    def test_comment(self):
+        tokens = tokenize("<!-- hello -->text")
+        assert tokens[0].type is TokenType.COMMENT
+        assert tokens[1].data == "text"
+
+    def test_doctype(self):
+        tokens = tokenize("<!DOCTYPE html><html></html>")
+        assert tokens[0].type is TokenType.DOCTYPE
+
+    def test_unterminated_comment(self):
+        tokens = tokenize("<!-- oops")
+        assert tokens[0].type is TokenType.COMMENT
+
+
+class TestRawText:
+    def test_script_content_not_parsed(self):
+        tokens = tokenize("<script>if (a < b) {}</script><p>x</p>")
+        assert tokens[0].data == "script"
+        assert tokens[1].type is TokenType.TEXT
+        assert "a < b" in tokens[1].data
+        assert tokens[2].type is TokenType.END_TAG
+
+    def test_style_content_not_parsed(self):
+        tokens = tokenize("<style>p > a {}</style>")
+        assert tokens[1].type is TokenType.TEXT
+
+    def test_unterminated_script(self):
+        tokens = tokenize("<script>var x = 1;")
+        assert tokens[-1].type is TokenType.END_TAG
+        assert tokens[-1].data == "script"
+
+
+class TestMalformedRecovery:
+    def test_stray_lt_is_text(self):
+        tokens = tokenize("1 < 2")
+        text = "".join(t.data for t in tokens if t.type is TokenType.TEXT)
+        assert text == "1 < 2"
+
+    def test_lt_at_end_of_input(self):
+        tokens = tokenize("abc<")
+        assert tokens[-1].type is TokenType.TEXT
+
+    def test_unterminated_tag(self):
+        tokens = tokenize("<div class='x")
+        assert tokens[0].type is TokenType.START_TAG
+
+    def test_unterminated_end_tag(self):
+        tokens = tokenize("hello</p")
+        assert tokens[0].data == "hello"
+
+    def test_empty_input(self):
+        assert tokenize("") == []
+
+    def test_whitespace_preserved_in_text(self):
+        tokens = tokenize("<p>  padded  </p>")
+        assert tokens[1].data == "  padded  "

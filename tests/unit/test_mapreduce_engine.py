@@ -1,0 +1,99 @@
+"""Unit tests for the local MapReduce engine."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mapreduce.engine import MapReduceJob, Pipeline, word_count
+
+
+class TestWordCount:
+    def test_counts(self):
+        counts = word_count(["a b a", "b c", "A"])
+        assert counts == {"a": 3, "b": 2, "c": 1}
+
+    def test_empty_input(self):
+        assert word_count([]) == {}
+
+
+class TestJobMechanics:
+    def test_bad_partitions_rejected(self):
+        with pytest.raises(ReproError):
+            MapReduceJob(lambda x: [], lambda k, v: [], partitions=0)
+
+    def test_partition_count_does_not_change_result(self):
+        documents = [f"w{i % 5} w{i % 3}" for i in range(50)]
+        results = []
+        for partitions in (1, 3, 7):
+            job = MapReduceJob(
+                lambda doc: [(word, 1) for word in doc.split()],
+                lambda word, counts: [(word, sum(counts))],
+                partitions=partitions,
+            )
+            results.append(dict(job.run(documents)))
+        assert results[0] == results[1] == results[2]
+
+    def test_combiner_preserves_result(self):
+        documents = [f"w{i % 5}" for i in range(40)]
+        plain = MapReduceJob(
+            lambda doc: [(word, 1) for word in doc.split()],
+            lambda word, counts: [(word, sum(counts))],
+        )
+        combined = MapReduceJob(
+            lambda doc: [(word, 1) for word in doc.split()],
+            lambda word, counts: [(word, sum(counts))],
+            combiner=lambda word, counts: [sum(counts)],
+        )
+        assert dict(plain.run(documents)) == dict(combined.run(documents))
+
+    def test_combiner_reduces_shuffle_volume(self):
+        documents = ["x x x x"] * 10
+        job = MapReduceJob(
+            lambda doc: [(word, 1) for word in doc.split()],
+            lambda word, counts: [(word, sum(counts))],
+            combiner=lambda word, counts: [sum(counts)],
+            partitions=2,
+        )
+        job.run(documents)
+        assert job.stats.map_output_records == 40
+        assert job.stats.combine_output_records == 2
+
+    def test_stats_populated(self):
+        job = MapReduceJob(
+            lambda doc: [(word, 1) for word in doc.split()],
+            lambda word, counts: [(word, sum(counts))],
+        )
+        job.run(["a b", "a"])
+        assert job.stats.input_records == 2
+        assert job.stats.map_output_records == 3
+        assert job.stats.reduce_groups == 2
+        assert job.stats.output_records == 2
+
+    def test_deterministic_output_order(self):
+        job = MapReduceJob(
+            lambda record: [(record, 1)],
+            lambda key, values: [key],
+        )
+        assert job.run(["b", "a", "c"]) == ["a", "b", "c"]
+
+    def test_mapper_emitting_nothing(self):
+        job = MapReduceJob(lambda record: [], lambda key, values: [key])
+        assert job.run(["x", "y"]) == []
+
+
+class TestPipeline:
+    def test_chained_jobs(self):
+        # Job 1: word counts; job 2: bucket counts by parity.
+        count_job = MapReduceJob(
+            lambda doc: [(word, 1) for word in doc.split()],
+            lambda word, counts: [(word, sum(counts))],
+        )
+        parity_job = MapReduceJob(
+            lambda pair: [(pair[1] % 2, 1)],
+            lambda parity, ones: [(parity, sum(ones))],
+        )
+        pipeline = Pipeline().add(count_job).add(parity_job)
+        result = dict(pipeline.run(["a a b", "c"]))
+        assert result == {0: 1, 1: 2}
+
+    def test_empty_pipeline_passthrough(self):
+        assert Pipeline().run([1, 2, 3]) == [1, 2, 3]

@@ -1,0 +1,74 @@
+"""Unit tests for fusion expressed as MapReduce jobs."""
+
+import pytest
+
+from repro.fusion.accu import Accu
+from repro.fusion.vote import Vote
+from repro.mapreduce.jobs import mr_accu, mr_vote
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+
+
+@pytest.fixture(scope="module")
+def claim_world():
+    return generate_claim_world(
+        ClaimWorldConfig(
+            seed=41, n_items=60, n_sources=9,
+            source_accuracies=[0.9, 0.9, 0.85, 0.6, 0.55, 0.5, 0.5, 0.45, 0.4],
+            false_pool=4,
+        )
+    )
+
+
+class TestMrVote:
+    def test_agrees_with_in_memory_vote(self, claim_world):
+        memory = Vote().fuse(claim_world.claims)
+        distributed = mr_vote(claim_world.claims)
+        assert distributed.truths == memory.truths
+
+    def test_partition_invariance(self, claim_world):
+        one = mr_vote(claim_world.claims, partitions=1)
+        many = mr_vote(claim_world.claims, partitions=8)
+        assert one.truths == many.truths
+
+    def test_beliefs_normalised(self, claim_world):
+        result = mr_vote(claim_world.claims)
+        items = {}
+        for (item, _value), belief in result.belief.items():
+            items[item] = items.get(item, 0.0) + belief
+        assert all(abs(total - 1.0) < 1e-9 for total in items.values())
+
+
+class TestMrAccu:
+    def test_agrees_with_in_memory_accu(self, claim_world):
+        memory = Accu(max_iterations=10).fuse(claim_world.claims)
+        distributed = mr_accu(claim_world.claims, rounds=10)
+        agreements = sum(
+            1
+            for item, truth in memory.truths.items()
+            if distributed.truths.get(item) == truth
+        )
+        assert agreements / len(memory.truths) > 0.95
+
+    def test_partition_invariance(self, claim_world):
+        few = mr_accu(claim_world.claims, rounds=5, partitions=2)
+        many = mr_accu(claim_world.claims, rounds=5, partitions=7)
+        assert few.truths == many.truths
+        for source in few.source_quality:
+            assert few.source_quality[source] == pytest.approx(
+                many.source_quality[source]
+            )
+
+    def test_learns_accuracy_ordering(self, claim_world):
+        result = mr_accu(claim_world.claims, rounds=10)
+        learned = result.source_quality
+        good = [s for s, a in claim_world.source_accuracy.items() if a > 0.8]
+        bad = [s for s, a in claim_world.source_accuracy.items() if a < 0.5]
+        avg = lambda xs: sum(learned[s] for s in xs) / len(xs)
+        assert avg(good) > avg(bad)
+
+    def test_precision_beats_vote(self, claim_world):
+        vote = mr_vote(claim_world.claims)
+        accu = mr_accu(claim_world.claims, rounds=10)
+        assert claim_world.precision_of(accu.truths) >= (
+            claim_world.precision_of(vote.truths)
+        )

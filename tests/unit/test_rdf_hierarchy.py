@@ -1,0 +1,121 @@
+"""Unit tests for hierarchical value spaces."""
+
+import pytest
+
+from repro.errors import HierarchyError
+from repro.rdf.hierarchy import ValueHierarchy
+
+
+@pytest.fixture
+def locations():
+    hierarchy = ValueHierarchy()
+    hierarchy.add_chain(["Adelaide", "South Australia", "Australia"])
+    hierarchy.add_chain(["Melbourne", "Victoria", "Australia"])
+    hierarchy.add_chain(["Wuhan", "Hubei", "China"])
+    return hierarchy
+
+
+class TestConstruction:
+    def test_self_loop_rejected(self):
+        with pytest.raises(HierarchyError):
+            ValueHierarchy().add_edge("x", "x")
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(HierarchyError):
+            ValueHierarchy().add_edge("", "y")
+
+    def test_reparenting_rejected(self, locations):
+        with pytest.raises(HierarchyError):
+            locations.add_edge("Adelaide", "Victoria")
+
+    def test_same_edge_twice_ok(self, locations):
+        locations.add_edge("Adelaide", "South Australia")
+
+    def test_cycle_rejected(self, locations):
+        with pytest.raises(HierarchyError):
+            locations.add_edge("Australia", "Adelaide")
+
+    def test_contains(self, locations):
+        assert "Adelaide" in locations
+        assert "Australia" in locations
+        assert "Mars" not in locations
+
+
+class TestQueries:
+    def test_parent(self, locations):
+        assert locations.parent("Adelaide") == "South Australia"
+        assert locations.parent("Australia") is None
+
+    def test_children(self, locations):
+        assert locations.children("Australia") == {
+            "South Australia",
+            "Victoria",
+        }
+
+    def test_ancestors_ordered_near_to_far(self, locations):
+        assert locations.ancestors("Adelaide") == [
+            "South Australia",
+            "Australia",
+        ]
+
+    def test_descendants(self, locations):
+        assert locations.descendants("Australia") == {
+            "South Australia",
+            "Victoria",
+            "Adelaide",
+            "Melbourne",
+        }
+
+    def test_chain(self, locations):
+        assert locations.chain("Wuhan") == ["Wuhan", "Hubei", "China"]
+
+    def test_roots(self, locations):
+        assert locations.roots() == {"Australia", "China"}
+
+    def test_depth(self, locations):
+        assert locations.depth("Australia") == 0
+        assert locations.depth("Adelaide") == 2
+
+    def test_len_and_iter(self, locations):
+        assert len(locations) == 8
+        assert set(locations) == {
+            "Adelaide", "South Australia", "Australia", "Melbourne",
+            "Victoria", "Wuhan", "Hubei", "China",
+        }
+
+
+class TestFusionSupport:
+    def test_related_on_chain(self, locations):
+        assert locations.related("Adelaide", "Australia")
+        assert locations.related("Australia", "Adelaide")
+        assert locations.related("Adelaide", "Adelaide")
+
+    def test_unrelated_across_chains(self, locations):
+        assert not locations.related("Adelaide", "Victoria")
+        assert not locations.related("Adelaide", "China")
+
+    def test_specific_fully_supports_general(self, locations):
+        assert locations.support("Adelaide", "Australia") == 1.0
+        assert locations.support("Adelaide", "South Australia") == 1.0
+
+    def test_general_partially_supports_specific(self, locations):
+        support_one = locations.support("South Australia", "Adelaide")
+        support_two = locations.support("Australia", "Adelaide")
+        assert 0 < support_two < support_one < 1
+
+    def test_unrelated_support_zero(self, locations):
+        assert locations.support("Adelaide", "Wuhan") == 0.0
+
+    def test_equal_support_one(self, locations):
+        assert locations.support("Adelaide", "Adelaide") == 1.0
+
+    def test_lowest_common_ancestor(self, locations):
+        assert (
+            locations.lowest_common_ancestor("Adelaide", "Melbourne")
+            == "Australia"
+        )
+        assert locations.lowest_common_ancestor("Adelaide", "Wuhan") is None
+        assert (
+            locations.lowest_common_ancestor("Adelaide", "South Australia")
+            == "South Australia"
+        )

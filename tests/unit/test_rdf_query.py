@@ -1,0 +1,146 @@
+"""Unit tests for the conjunctive query engine."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.rdf.query import GraphQuery, TriplePattern, Var, select
+from repro.rdf.store import TripleStore
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+
+
+@pytest.fixture
+def store():
+    s = TripleStore()
+    prov = Provenance("src", "ex")
+    facts = [
+        ("uni/1", "location", "Adelaide"),
+        ("uni/1", "founded", "1874"),
+        ("uni/2", "location", "Melbourne"),
+        ("uni/2", "founded", "1853"),
+        ("uni/3", "location", "Adelaide"),
+        ("uni/3", "founded", "1991"),
+        ("city/adelaide", "state", "South Australia"),
+    ]
+    for subject, predicate, obj in facts:
+        s.add(ScoredTriple(Triple(subject, predicate, Value(obj)), prov))
+    return s
+
+
+class TestValidation:
+    def test_empty_query_rejected(self):
+        with pytest.raises(StoreError):
+            GraphQuery([])
+
+    def test_filter_on_unknown_variable_rejected(self):
+        with pytest.raises(StoreError):
+            GraphQuery(
+                [TriplePattern(Var("s"), "location", Var("o"))],
+                filters={"ghost": lambda v: True},
+            )
+
+    def test_empty_var_name_rejected(self):
+        with pytest.raises(StoreError):
+            Var("")
+
+
+class TestSinglePattern:
+    def test_select_all(self, store):
+        assert len(select(store)) == 7
+
+    def test_bound_predicate(self, store):
+        rows = select(store, predicate="location")
+        assert {row["s"] for row in rows} == {"uni/1", "uni/2", "uni/3"}
+
+    def test_bound_object(self, store):
+        rows = select(store, predicate="location", obj="Adelaide")
+        assert {row["s"] for row in rows} == {"uni/1", "uni/3"}
+
+    def test_variable_predicate(self, store):
+        rows = select(store, subject="uni/1")
+        assert {row["p"] for row in rows} == {"location", "founded"}
+
+    def test_no_match(self, store):
+        assert select(store, subject="uni/9") == []
+
+
+class TestJoins:
+    def test_two_pattern_join(self, store):
+        query = GraphQuery(
+            [
+                TriplePattern(Var("u"), "location", "Adelaide"),
+                TriplePattern(Var("u"), "founded", Var("year")),
+            ]
+        )
+        rows = query.solve(store)
+        assert {(row["u"], row["year"]) for row in rows} == {
+            ("uni/1", "1874"),
+            ("uni/3", "1991"),
+        }
+
+    def test_chain_join_across_subjects(self, store):
+        store.add(
+            ScoredTriple(
+                Triple("uni/1", "city ref", Value("city/adelaide")),
+                Provenance("src", "ex"),
+            )
+        )
+        query = GraphQuery(
+            [
+                TriplePattern(Var("u"), "city ref", Var("c")),
+                TriplePattern(Var("c"), "state", Var("st")),
+            ]
+        )
+        rows = query.solve(store)
+        assert rows == [
+            {"u": "uni/1", "c": "city/adelaide", "st": "South Australia"}
+        ]
+
+    def test_shared_variable_consistency(self, store):
+        # u bound by first pattern must satisfy the second.
+        query = GraphQuery(
+            [
+                TriplePattern(Var("u"), "location", Var("city")),
+                TriplePattern(Var("u"), "founded", "1853"),
+            ]
+        )
+        rows = query.solve(store)
+        assert rows == [{"u": "uni/2", "city": "Melbourne"}]
+
+    def test_cartesian_when_disjoint(self, store):
+        query = GraphQuery(
+            [
+                TriplePattern(Var("a"), "founded", "1874"),
+                TriplePattern(Var("b"), "founded", "1853"),
+            ]
+        )
+        rows = query.solve(store)
+        assert rows == [{"a": "uni/1", "b": "uni/2"}]
+
+
+class TestFilters:
+    def test_filter_applies(self, store):
+        query = GraphQuery(
+            [TriplePattern(Var("u"), "founded", Var("year"))],
+            filters={"year": lambda year: year < "1900"},
+        )
+        rows = query.solve(store)
+        assert {row["u"] for row in rows} == {"uni/1", "uni/2"}
+
+    def test_filter_can_reject_everything(self, store):
+        query = GraphQuery(
+            [TriplePattern(Var("u"), "founded", Var("year"))],
+            filters={"year": lambda year: False},
+        )
+        assert query.solve(store) == []
+
+
+class TestTermForms:
+    def test_value_object_term(self, store):
+        query = GraphQuery(
+            [TriplePattern(Var("u"), "location", Value("Adelaide"))]
+        )
+        assert len(query.solve(store)) == 2
+
+    def test_iterator_interface(self, store):
+        query = GraphQuery([TriplePattern(Var("u"), "founded", Var("y"))])
+        assert len(list(query.iter_solutions(store))) == 3

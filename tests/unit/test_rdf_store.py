@@ -1,0 +1,130 @@
+"""Unit tests for the indexed triple store."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.rdf.store import TripleStore
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+
+
+def claim(subject, predicate, value, source="src", extractor="ex", conf=1.0):
+    return ScoredTriple(
+        Triple(subject, predicate, Value(value)),
+        Provenance(source, extractor),
+        conf,
+    )
+
+
+@pytest.fixture
+def store():
+    s = TripleStore()
+    s.add(claim("france", "capital", "Paris", source="a"))
+    s.add(claim("france", "capital", "Lyon", source="b"))
+    s.add(claim("france", "population", "67M", source="a"))
+    s.add(claim("germany", "capital", "Berlin", source="a"))
+    return s
+
+
+class TestAdd:
+    def test_len_counts_claims(self, store):
+        assert len(store) == 4
+
+    def test_same_triple_different_source_kept(self, store):
+        store.add(claim("france", "capital", "Paris", source="c"))
+        assert len(store) == 5
+
+    def test_duplicate_claim_is_noop(self, store):
+        store.add(claim("france", "capital", "Paris", source="a"))
+        assert len(store) == 4
+
+    def test_duplicate_keeps_max_confidence(self):
+        store = TripleStore()
+        store.add(claim("s", "p", "v", conf=0.3))
+        store.add(claim("s", "p", "v", conf=0.8))
+        store.add(claim("s", "p", "v", conf=0.5))
+        assert store.claims()[0].confidence == 0.8
+
+    def test_contains(self, store):
+        assert Triple("france", "capital", Value("Paris")) in store
+        assert Triple("france", "capital", Value("Nice")) not in store
+
+
+class TestMatch:
+    def test_fully_bound(self, store):
+        found = store.match("france", "capital", Value("Paris"))
+        assert len(found) == 1
+
+    def test_subject_only(self, store):
+        assert len(store.match(subject="france")) == 3
+
+    def test_predicate_only(self, store):
+        capitals = store.match(predicate="capital")
+        assert {t.subject for t in capitals} == {"france", "germany"}
+
+    def test_object_only(self, store):
+        assert len(store.match(obj=Value("Berlin"))) == 1
+
+    def test_unbound_enumerates_distinct(self, store):
+        store.add(claim("france", "capital", "Paris", source="z"))
+        assert len(store.match()) == 4  # distinct triples, not claims
+
+    def test_no_match_empty(self, store):
+        assert store.match(subject="spain") == []
+
+
+class TestLookups:
+    def test_objects(self, store):
+        assert {v.lexical for v in store.objects("france", "capital")} == {
+            "Paris",
+            "Lyon",
+        }
+
+    def test_subjects(self, store):
+        assert store.subjects() == {"france", "germany"}
+
+    def test_predicates_global(self, store):
+        assert store.predicates() == {"capital", "population"}
+
+    def test_predicates_of_subject(self, store):
+        assert store.predicates("germany") == {"capital"}
+
+    def test_sources_and_extractors(self, store):
+        assert store.sources() == {"a", "b"}
+        assert store.extractors() == {"ex"}
+
+    def test_claims_for_item(self, store):
+        claims = store.claims_for_item("france", "capital")
+        assert len(claims) == 2
+
+    def test_claims_of_triple(self, store):
+        triple = Triple("france", "capital", Value("Paris"))
+        assert len(store.claims(triple)) == 1
+
+
+class TestMutation:
+    def test_remove(self, store):
+        removed = store.remove(Triple("france", "capital", Value("Paris")))
+        assert removed == 1
+        assert Triple("france", "capital", Value("Paris")) not in store
+        assert len(store) == 3
+
+    def test_remove_missing_returns_zero(self, store):
+        assert store.remove(Triple("x", "y", Value("z"))) == 0
+
+    def test_merge(self, store):
+        other = TripleStore()
+        other.add(claim("spain", "capital", "Madrid"))
+        store.merge(other)
+        assert Triple("spain", "capital", Value("Madrid")) in store
+
+    def test_merge_self_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.merge(store)
+
+    def test_copy_independent(self, store):
+        clone = store.copy()
+        clone.add(claim("spain", "capital", "Madrid"))
+        assert len(clone) == len(store) + 1
+
+    def test_iteration_yields_claims(self, store):
+        assert len(list(store)) == 4

@@ -1,0 +1,69 @@
+"""Unit tests for name generation primitives."""
+
+import random
+
+import pytest
+
+from repro.synth import names
+
+
+@pytest.fixture
+def rng():
+    return random.Random(123)
+
+
+class TestDeterminism:
+    def test_same_seed_same_names(self):
+        first = [names.title_name(random.Random(7)) for _ in range(5)]
+        second = [names.title_name(random.Random(7)) for _ in range(5)]
+        assert first == second
+
+    def test_different_seed_differs(self):
+        assert [names.place_name(random.Random(1)) for _ in range(10)] != [
+            names.place_name(random.Random(2)) for _ in range(10)
+        ]
+
+
+class TestShapes:
+    def test_invented_word_capitalised(self, rng):
+        word = names.invented_word(rng)
+        assert word[0].isupper()
+        assert word[1:].islower()
+
+    def test_syllable_nonempty(self, rng):
+        assert names.syllable(rng)
+
+    def test_person_name_two_parts(self, rng):
+        assert len(names.person_name(rng).split(" ")) == 2
+
+    def test_university_name_contains_university(self, rng):
+        for _ in range(10):
+            assert "University" in names.university_name(rng)
+
+    def test_university_name_uses_anchor(self, rng):
+        name = names.university_name(rng, place="Testville")
+        assert "Testville" in name
+
+    def test_hotel_name_ends_with_hotel(self, rng):
+        assert names.hotel_name(rng).endswith("Hotel")
+
+    def test_country_name_nonempty(self, rng):
+        assert names.country_name(rng)
+
+    def test_title_name_multiword(self, rng):
+        for _ in range(20):
+            assert len(names.title_name(rng).split(" ")) >= 2
+
+
+class TestWordPool:
+    def test_size_and_uniqueness(self, rng):
+        pool = names.word_pool(rng, 50)
+        assert len(pool) == 50
+        assert len(set(pool)) == 50
+
+    def test_lowercase(self, rng):
+        assert all(word == word.lower() for word in names.word_pool(rng, 10))
+
+    def test_sorted(self, rng):
+        pool = names.word_pool(rng, 20)
+        assert pool == sorted(pool)

