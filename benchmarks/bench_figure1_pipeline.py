@@ -86,3 +86,8 @@ def test_figure1_report(run, benchmark):
     assert report.augmentation.new_facts > 0
     assert report.augmentation.total_new_attributes() > 0
     assert all(report.triple_counts[e] > 0 for e in ("kb", "dom", "webtext"))
+    # The query-stream extractor contributes attributes (which seed the
+    # DOM/Web-text extractors), never claims: query records are
+    # questions and carry no values.  See extract/querystream.py.
+    assert report.triple_counts["querystream"] == 0
+    assert sum(report.attribute_counts["querystream"].values()) > 0

@@ -44,6 +44,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--export", metavar="PATH",
         help="write the augmented Freebase snapshot's claims as TSV",
     )
+    pipeline.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="run independent extraction stages concurrently (N >= 2); "
+        "output is identical to a serial run",
+    )
+    pipeline.add_argument(
+        "--stage-executor", choices=("process", "thread"),
+        default="process",
+        help="pool type for concurrent extraction stages",
+    )
 
     for name, help_text in (
         ("table1", "statistics of representative KBs"),
@@ -103,11 +113,15 @@ def _run_pipeline(args) -> int:
         world=WorldConfig(seed=args.seed),
         querylog=QueryLogConfig(scale=args.query_scale),
         discover_new_entities=args.discover_entities,
+        parallelism=args.parallel,
+        stage_executor=args.stage_executor,
     )
     pipeline = KnowledgeBaseConstructionPipeline(config)
     report = pipeline.run()
     for timing in report.timings:
         print(f"{timing.stage:<22} {timing.seconds:6.2f}s  {timing.detail}")
+    for phase, seconds in report.extraction_wall.items():
+        print(f"{phase + ' wall':<22} {seconds:6.2f}s")
     fusion = report.fusion_report
     print(
         f"fusion: {fusion.items} items, precision {fusion.precision:.3f}, "

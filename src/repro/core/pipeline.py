@@ -17,11 +17,32 @@ Knowledge fusion
         hierarchy + correlations + confidence);
     9.  evaluate against the world (gold standard by construction);
     10. augment the Freebase snapshot with the fused knowledge.
+
+Extraction parallelism
+    The extractors are independent given their inputs, so with
+    ``PipelineConfig.parallelism > 1`` the pipeline runs them
+    concurrently in two phases that respect the data dependencies:
+
+    * phase A — KB snapshot construction + KB extraction runs next to
+      query-log generation (the query-stream *extraction* needs Set_E
+      from the Freebase snapshot, so it runs as soon as phase A joins);
+    * phase B — after seed-set construction, the DOM and Web-text
+      extractors (the two heaviest stages) run concurrently.
+
+    Stage bodies are module-level functions executed on a
+    ``concurrent.futures`` pool (``stage_executor`` picks processes or
+    threads).  Every stage is a deterministic function of the world
+    and its config — the synthetic generators seed their own RNGs — so
+    concurrent output is identical to serial output; per-stage wall
+    times are measured inside the workers and land in the stage report
+    exactly as in a serial run, while phase wall-clock times are kept
+    separately in ``PipelineReport.extraction_wall``.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
 from repro.core.augmentation import AugmentationReport, augment_kb
@@ -93,6 +114,13 @@ class PipelineConfig:
     use_extractor_correlations: bool = True
     use_confidence: bool = True
     resolve_attributes: bool = True
+    # Extraction parallelism: 1 runs every stage serially (the
+    # original behaviour); >= 2 runs independent extraction stages
+    # concurrently.  Output is identical either way.
+    parallelism: int = 1
+    # Pool flavour for parallel stages: "process" sidesteps the GIL for
+    # these CPU-bound extractors; "thread" avoids pickling overhead.
+    stage_executor: str = "process"
 
 
 @dataclass(slots=True)
@@ -117,9 +145,75 @@ class PipelineReport:
     fusion_report: TruthDiscoveryReport | None = None
     augmentation: AugmentationReport | None = None
     entity_resolution: ResolutionOutcome | None = None
+    # Wall-clock seconds of each concurrent extraction phase (empty on
+    # serial runs).  Stage timings above always hold per-stage work
+    # time, so ``sum(stage seconds) - extraction_wall`` is the time
+    # parallelism saved.
+    extraction_wall: dict[str, float] = field(default_factory=dict)
 
     def total_seconds(self) -> float:
         return sum(timing.seconds for timing in self.timings)
+
+
+# ----------------------------------------------------------------------
+# Extraction stage bodies.  Module-level (hence picklable) functions of
+# (world, config) so they can run inline, on a thread pool, or in a
+# worker process interchangeably; each measures its own wall time.
+
+
+def _kb_stage(world: GroundTruthWorld, kb_pair_config: KbPairConfig):
+    """Stage 1: build the KB snapshots and extract/combine their claims."""
+    started = time.perf_counter()
+    freebase, dbpedia = build_kb_pair(world, kb_pair_config)
+    freebase_output = KbExtractor(freebase).extract()
+    dbpedia_output = KbExtractor(dbpedia).extract()
+    kb_output = combine_kb_outputs([freebase_output, dbpedia_output])
+    return freebase, dbpedia, kb_output, time.perf_counter() - started
+
+
+def _querylog_stage(world: GroundTruthWorld, querylog_config: QueryLogConfig):
+    """Stage 2a: generate the query stream (extraction needs Set_E)."""
+    started = time.perf_counter()
+    log = generate_query_log(world, querylog_config)
+    return log, time.perf_counter() - started
+
+
+def _dom_stage(
+    entity_index,
+    seeds: dict[str, SeedSet],
+    dom_config: DomExtractorConfig,
+    world: GroundTruthWorld,
+    website_config: WebsiteConfig,
+):
+    """Stage 4: generate websites and run Algorithm 1 over them."""
+    started = time.perf_counter()
+    sites = generate_websites(world, website_config)
+    extractor = DomTreeExtractor(entity_index, seeds, dom_config)
+    output = extractor.extract(sites)
+    return (
+        output,
+        extractor.mention_classes,
+        time.perf_counter() - started,
+    )
+
+
+def _webtext_stage(
+    entity_index,
+    seeds: dict[str, SeedSet],
+    kb_triples,
+    world: GroundTruthWorld,
+    webtext_config: WebTextConfig,
+    extractor_config: WebTextExtractorConfig,
+):
+    """Stage 5: generate Web texts and run the seed-driven extractor."""
+    started = time.perf_counter()
+    documents = generate_webtext(world, webtext_config)
+    extractor = WebTextExtractor(
+        entity_index, seeds, kb_triples, extractor_config
+    )
+    extractor.learn(documents)
+    output = extractor.extract(documents)
+    return output, time.perf_counter() - started
 
 
 class KnowledgeBaseConstructionPipeline:
@@ -135,6 +229,7 @@ class KnowledgeBaseConstructionPipeline:
         # Populated by run():
         self.freebase = None
         self.dbpedia = None
+        self.entity_index: dict[str, object] = {}
         self.outputs: dict[str, ExtractorOutput] = {}
         self.seeds: dict[str, SeedSet] = {}
         self.claims: ClaimSet | None = None
@@ -144,65 +239,25 @@ class KnowledgeBaseConstructionPipeline:
         report = PipelineReport()
         world = self.world
         cfg = self.config
-
-        # -- 1. KB snapshots + extraction --------------------------------
-        with _timed(report, "kb-extraction") as timing:
-            self.freebase, self.dbpedia = build_kb_pair(world, cfg.kb_pair)
-            freebase_output = KbExtractor(self.freebase).extract()
-            dbpedia_output = KbExtractor(self.dbpedia).extract()
-            kb_output = combine_kb_outputs([freebase_output, dbpedia_output])
-            self.outputs["kb"] = kb_output
-            timing.detail = f"{len(kb_output.triples)} claims"
-
-        entity_index = self._set_e_index()
-
-        # -- 2. Query stream ---------------------------------------------
-        with _timed(report, "query-stream") as timing:
-            log = generate_query_log(world, cfg.querylog)
-            extractor = QueryStreamExtractor(
-                entity_index, cfg.querystream
+        if cfg.stage_executor not in ("process", "thread"):
+            raise PipelineError(
+                "stage_executor must be 'process' or 'thread', "
+                f"got {cfg.stage_executor!r}"
             )
-            query_output, query_stats = extractor.extract(log)
-            self.outputs["querystream"] = query_output
-            report.query_stats = query_stats
-            timing.detail = f"{len(log)} records"
-
-        # -- 3. Seed sets --------------------------------------------------
-        self.seeds = build_seed_sets(
-            [kb_output, query_output],
-            world.classes(),
-            min_support=cfg.seed_min_support,
-        )
-        report.seed_sizes = {
-            class_name: len(seed) for class_name, seed in self.seeds.items()
-        }
-
-        # -- 4. DOM extraction ---------------------------------------------
-        with _timed(report, "dom-extraction") as timing:
-            sites = generate_websites(world, cfg.websites)
-            dom_config = cfg.dom
-            if cfg.discover_new_entities:
-                dom_config = replace(dom_config, allow_mention_anchors=True)
-            dom_extractor = DomTreeExtractor(
-                entity_index, self.seeds, dom_config
+        parallel = max(1, cfg.parallelism) > 1
+        pool = None
+        if parallel:
+            pool_cls = (
+                ProcessPoolExecutor
+                if cfg.stage_executor == "process"
+                else ThreadPoolExecutor
             )
-            dom_output = dom_extractor.extract(sites)
-            self.outputs["dom"] = dom_output
-            timing.detail = f"{len(dom_output.triples)} claims"
-
-        # -- 5. Web-text extraction ----------------------------------------
-        with _timed(report, "webtext-extraction") as timing:
-            documents = generate_webtext(world, cfg.webtext)
-            text_extractor = WebTextExtractor(
-                entity_index,
-                self.seeds,
-                kb_output.triples,
-                cfg.webtext_extractor,
-            )
-            text_extractor.learn(documents)
-            text_output = text_extractor.extract(documents)
-            self.outputs["webtext"] = text_output
-            timing.detail = f"{len(text_output.triples)} claims"
+            pool = pool_cls(max_workers=min(2, cfg.parallelism))
+        try:
+            mention_classes = self._run_extraction(report, pool)
+        finally:
+            if pool is not None:
+                pool.shutdown()
 
         all_triples = [
             scored
@@ -213,9 +268,11 @@ class KnowledgeBaseConstructionPipeline:
         # -- 5b. Joint entity linking + discovery ---------------------------
         if cfg.discover_new_entities:
             with _timed(report, "entity-resolution") as timing:
-                resolver = JointEntityResolver(EntityLinker(entity_index))
+                resolver = JointEntityResolver(
+                    EntityLinker(self.entity_index)
+                )
                 all_triples, outcome = resolve_mention_triples(
-                    all_triples, dom_extractor.mention_classes, resolver
+                    all_triples, mention_classes, resolver
                 )
                 report.entity_resolution = outcome
                 timing.detail = (
@@ -314,6 +371,116 @@ class KnowledgeBaseConstructionPipeline:
                 f"{report.augmentation.new_entities} entities"
             )
         return report
+
+    # ------------------------------------------------------------------
+    def _run_extraction(self, report: PipelineReport, pool) -> dict[str, str]:
+        """Stages 1-5: run the four extractors, serially or concurrently.
+
+        Returns the DOM extractor's mention-surface → class map (used by
+        joint entity resolution).  With a pool, phase A runs KB-snapshot
+        extraction next to query-log generation and phase B runs the DOM
+        and Web-text extractors side by side; stage timings are measured
+        inside the stage bodies either way, so the report is comparable
+        across modes.
+        """
+        world = self.world
+        cfg = self.config
+
+        # -- 1+2a. KB snapshots + query-log generation (phase A) ---------
+        if pool is not None:
+            phase_started = time.perf_counter()
+            kb_future = pool.submit(_kb_stage, world, cfg.kb_pair)
+            log_future = pool.submit(_querylog_stage, world, cfg.querylog)
+            self.freebase, self.dbpedia, kb_output, kb_seconds = (
+                kb_future.result()
+            )
+            log, log_seconds = log_future.result()
+            report.extraction_wall["phase-a"] = (
+                time.perf_counter() - phase_started
+            )
+        else:
+            self.freebase, self.dbpedia, kb_output, kb_seconds = _kb_stage(
+                world, cfg.kb_pair
+            )
+            log, log_seconds = _querylog_stage(world, cfg.querylog)
+        self.outputs["kb"] = kb_output
+        report.timings.append(
+            StageTiming(
+                "kb-extraction", kb_seconds,
+                f"{len(kb_output.triples)} claims",
+            )
+        )
+
+        self.entity_index = self._set_e_index()
+
+        # -- 2b. Query-stream extraction (needs Set_E) --------------------
+        started = time.perf_counter()
+        extractor = QueryStreamExtractor(self.entity_index, cfg.querystream)
+        query_output, query_stats = extractor.extract(log)
+        self.outputs["querystream"] = query_output
+        report.query_stats = query_stats
+        report.timings.append(
+            StageTiming(
+                "query-stream",
+                log_seconds + (time.perf_counter() - started),
+                f"{len(log)} records",
+            )
+        )
+
+        # -- 3. Seed sets --------------------------------------------------
+        self.seeds = build_seed_sets(
+            [kb_output, query_output],
+            world.classes(),
+            min_support=cfg.seed_min_support,
+        )
+        report.seed_sizes = {
+            class_name: len(seed) for class_name, seed in self.seeds.items()
+        }
+
+        # -- 4+5. DOM + Web-text extraction (phase B) ----------------------
+        dom_config = cfg.dom
+        if cfg.discover_new_entities:
+            dom_config = replace(dom_config, allow_mention_anchors=True)
+        if pool is not None:
+            phase_started = time.perf_counter()
+            dom_future = pool.submit(
+                _dom_stage, self.entity_index, self.seeds, dom_config,
+                world, cfg.websites,
+            )
+            text_future = pool.submit(
+                _webtext_stage, self.entity_index, self.seeds,
+                kb_output.triples, world, cfg.webtext,
+                cfg.webtext_extractor,
+            )
+            dom_output, mention_classes, dom_seconds = dom_future.result()
+            text_output, text_seconds = text_future.result()
+            report.extraction_wall["phase-b"] = (
+                time.perf_counter() - phase_started
+            )
+        else:
+            dom_output, mention_classes, dom_seconds = _dom_stage(
+                self.entity_index, self.seeds, dom_config,
+                world, cfg.websites,
+            )
+            text_output, text_seconds = _webtext_stage(
+                self.entity_index, self.seeds, kb_output.triples,
+                world, cfg.webtext, cfg.webtext_extractor,
+            )
+        self.outputs["dom"] = dom_output
+        self.outputs["webtext"] = text_output
+        report.timings.append(
+            StageTiming(
+                "dom-extraction", dom_seconds,
+                f"{len(dom_output.triples)} claims",
+            )
+        )
+        report.timings.append(
+            StageTiming(
+                "webtext-extraction", text_seconds,
+                f"{len(text_output.triples)} claims",
+            )
+        )
+        return mention_classes
 
     # ------------------------------------------------------------------
     def _set_e_index(self):

@@ -147,12 +147,19 @@ class AttributeResolver:
         other = self.value_profiles.get(target)
         if not other:
             return False
-        union = len(profile | other)
+        # Intersect small-into-large and derive the union size
+        # arithmetically — this comparison runs for every
+        # (variant, canonical) pair, and building union sets dominated
+        # the resolver's profile pass.
+        if len(profile) > len(other):
+            overlap = len(other & profile)
+        else:
+            overlap = len(profile & other)
+        union = len(profile) + len(other) - overlap
         if union == 0:
             return False
         # Containment-leaning Jaccard: a low-support variant whose
         # profile sits inside the canonical's profile should merge.
-        overlap = len(profile & other)
         smaller = min(len(profile), len(other))
         return (
             overlap / union >= self.profile_jaccard

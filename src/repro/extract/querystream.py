@@ -11,6 +11,19 @@ at least ``min_support`` matching records spanning at least
 ``min_entity_support`` distinct entities.  Classes whose queries are
 navigational (Hotel) produce no credible attributes — the paper's
 "N/A" row.
+
+**Why this extractor emits no claims (``ExtractorOutput.triples`` is
+always empty).** Query records are *questions*: "what is the capital
+of Atlantis" names an attribute and an entity but never carries a
+value, so there is no (subject, predicate, value) fact to claim and
+nothing to hand to fusion directly.  This matches the paper, where the
+query-stream technique exists for *new attribute discovery* (Sec. 4,
+Table 3 counts credible attributes, not facts).  The extractor's
+output still reaches fusion indirectly — and essentially: its credible
+attributes join the KB attributes in ``build_seed_sets``, and those
+seed sets drive the DOM and Web-text extractors that *do* produce
+value claims.  A regression test pins both halves of this contract
+(zero triples, attributes flowing into seeds).
 """
 
 from __future__ import annotations

@@ -10,7 +10,7 @@ dropping of end tags that match nothing.
 from __future__ import annotations
 
 from repro.htmldom.node import Document, DomNode, ElementNode, TextNode
-from repro.htmldom.tokenizer import HtmlToken, TokenType, tokenize
+from repro.htmldom.tokenizer import TokenType, tokenize
 
 # When a new tag in the key set opens, any open element in the value set
 # is implicitly closed first (simplified HTML5 "implied end tags").

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.htmldom.node import DomNode, ElementNode
+from repro.textproc.memo import memoized_pair
 
 # Purely presentational tags the paper removes as noise before
 # comparing tag paths.
@@ -80,11 +81,13 @@ def absolute_path(
     return tuple(tags)
 
 
+@memoized_pair("tagpath-sequence")
 def sequence_similarity(left: tuple[str, ...], right: tuple[str, ...]) -> float:
     """Normalised tag-sequence similarity in ``[0, 1]``.
 
     ``1 - levenshtein(left, right) / max(len)``; two empty sequences are
-    identical (1.0).
+    identical (1.0).  Memoized (bounded, see :mod:`repro.textproc.memo`):
+    pages sharing a layout score the same sequences over and over.
     """
     if not left and not right:
         return 1.0
@@ -129,17 +132,32 @@ class RelativeTagPath:
         LCA tag halves the score, since patterns anchored at different
         containers (e.g. a table vs. a list) rarely transfer.
         """
-        up_similarity = sequence_similarity(self.up, other.up)
-        down_similarity = sequence_similarity(self.down, other.down)
-        score = (up_similarity + down_similarity) / 2.0
-        if self.lca != other.lca:
-            score *= 0.5
-        return score
+        return path_similarity(self, other)
 
     def __str__(self) -> str:
         up = "/".join(self.up) or "."
         down = "/".join(self.down) or "."
         return f"{up} ^{self.lca} {down}"
+
+
+@memoized_pair("tagpath-relative", symmetric=False)
+def path_similarity(left: RelativeTagPath, right: RelativeTagPath) -> float:
+    """Memoized :meth:`RelativeTagPath.similarity` kernel.
+
+    Algorithm 1 compares every candidate label's path against every
+    induced pattern, and identical (path, pattern) pairs recur on every
+    page of a site that shares a layout — the single hottest comparison
+    in DOM extraction.  ``RelativeTagPath`` is frozen/hashable, so the
+    pair itself is the cache key (orientation-sensitive: paths are not
+    orderable, and the score is symmetric anyway, so each orientation
+    simply warms its own entry).
+    """
+    up_similarity = sequence_similarity(left.up, right.up)
+    down_similarity = sequence_similarity(left.down, right.down)
+    score = (up_similarity + down_similarity) / 2.0
+    if left.lca != right.lca:
+        score *= 0.5
+    return score
 
 
 def relative_path(

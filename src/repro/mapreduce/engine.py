@@ -1,4 +1,4 @@
-"""A local MapReduce engine.
+"""A local MapReduce engine with pluggable executors.
 
 The paper scales knowledge fusion "by using a MapReduce based
 framework" (after Dong et al. [13]) and plans a distributed inference
@@ -9,14 +9,29 @@ partition, a hash partitioner shuffles, and reducers fold each key's
 values.  Jobs can be chained, which is how the iterative fusion
 algorithms run (one job per EM round).
 
-The engine is deliberately deterministic: partitions are processed in
-order and reducer input preserves emission order, so fused results are
-reproducible regardless of partition count.
+Two executors are available:
+
+* ``"serial"`` (default) — the original in-process loop;
+* ``"process"`` — map partitions and reduce key-groups are dispatched
+  in chunks to a ``concurrent.futures.ProcessPoolExecutor``.  Job
+  functions must be picklable (module-level functions or
+  ``functools.partial`` over them — see :mod:`repro.mapreduce.jobs`);
+  per-worker counters are merged back into :class:`JobStats`.
+
+The engine is deliberately deterministic under *both* executors:
+partition results are merged in partition order and reducer input
+preserves emission order, so the shuffle — and therefore the output —
+is byte-identical to a serial run regardless of worker count or
+partitioning.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Iterator
+import atexit
+import os
+import pickle
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Generic, Hashable, TypeVar
 
@@ -29,16 +44,78 @@ Mapper = Callable[[Any], Iterable[tuple[K, V]]]
 Reducer = Callable[[K, list[V]], Iterable[Any]]
 Combiner = Callable[[K, list[V]], Iterable[V]]
 
+EXECUTORS = ("serial", "process")
+
+# Process pools are expensive to start, and iterative jobs (ACCU runs
+# two jobs per EM round) would otherwise pay that cost dozens of times;
+# pools are kept per worker count and reused across runs.
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every shared worker pool (safe to call repeatedly)."""
+    for pool in _POOLS.values():
+        pool.shutdown()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
 
 @dataclass(slots=True)
 class JobStats:
-    """Counters of one job execution."""
+    """Counters of one job execution (merged across workers)."""
 
     input_records: int = 0
     map_output_records: int = 0
     combine_output_records: int = 0
     reduce_groups: int = 0
     output_records: int = 0
+
+
+def _map_partition(
+    mapper: Mapper,
+    combiner: Combiner | None,
+    partition: list[Any],
+) -> tuple[list[tuple[Any, list[Any]]], int, int, int]:
+    """Map (+ optionally combine) one partition.
+
+    Runs in a worker process under the ``"process"`` executor and
+    inline under ``"serial"`` — one code path, identical semantics.
+    Returns the emitted groups in first-emission order plus the
+    partition's counter deltas.
+    """
+    emitted: dict[Any, list[Any]] = {}
+    input_records = 0
+    map_output = 0
+    for record in partition:
+        input_records += 1
+        for key, value in mapper(record):
+            emitted.setdefault(key, []).append(value)
+            map_output += 1
+    combine_output = 0
+    if combiner is not None:
+        combined: dict[Any, list[Any]] = {}
+        for key, values in emitted.items():
+            combined[key] = list(combiner(key, values))
+            combine_output += len(combined[key])
+        emitted = combined
+    return list(emitted.items()), input_records, map_output, combine_output
+
+
+def _reduce_chunk(
+    reducer: Reducer, groups: list[tuple[Any, list[Any]]]
+) -> list[list[Any]]:
+    """Reduce a chunk of key-groups; one output list per group."""
+    return [list(reducer(key, values)) for key, values in groups]
 
 
 class MapReduceJob(Generic[K, V]):
@@ -56,7 +133,14 @@ class MapReduceJob(Generic[K, V]):
         pre-aggregation).
     partitions:
         Number of map partitions; affects only grouping of combiner
-        input, never results.
+        input and the granularity of parallel map dispatch, never
+        results.
+    executor:
+        ``"serial"`` or ``"process"``.  The process executor requires
+        picklable job functions and records.
+    max_workers:
+        Worker-process count for the process executor (default: the
+        machine's CPU count).
     """
 
     def __init__(
@@ -66,13 +150,23 @@ class MapReduceJob(Generic[K, V]):
         *,
         combiner: Combiner | None = None,
         partitions: int = 4,
+        executor: str = "serial",
+        max_workers: int | None = None,
     ) -> None:
         if partitions < 1:
             raise ReproError("partitions must be >= 1")
+        if executor not in EXECUTORS:
+            raise ReproError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ReproError("max_workers must be >= 1")
         self.mapper = mapper
         self.reducer = reducer
         self.combiner = combiner
         self.partitions = partitions
+        self.executor = executor
+        self.max_workers = max_workers
         self.stats = JobStats()
 
     # ------------------------------------------------------------------
@@ -80,38 +174,115 @@ class MapReduceJob(Generic[K, V]):
         """Execute the job and return the collected reducer output."""
         self.stats = JobStats()
         partitions = self._split(records)
+        parallel = self.executor == "process"
+        if parallel:
+            self._check_picklable()
+            pool = _shared_pool(self._worker_count())
 
-        # Map (+ optional combine) per partition.
+        # Map (+ optional combine) per partition; partition results are
+        # merged in partition order, making the shuffle independent of
+        # worker scheduling.
+        if parallel:
+            chunksize = max(1, len(partitions) // (self._worker_count() * 4))
+            partition_results = list(
+                pool.map(
+                    _MapTask(self.mapper, self.combiner),
+                    partitions,
+                    chunksize=chunksize,
+                )
+            )
+        else:
+            partition_results = [
+                _map_partition(self.mapper, self.combiner, partition)
+                for partition in partitions
+            ]
+
         shuffled: dict[K, list[V]] = {}
-        for partition in partitions:
-            emitted: dict[K, list[V]] = {}
-            for record in partition:
-                self.stats.input_records += 1
-                for key, value in self.mapper(record):
-                    emitted.setdefault(key, []).append(value)
-                    self.stats.map_output_records += 1
-            if self.combiner is not None:
-                combined: dict[K, list[V]] = {}
-                for key, values in emitted.items():
-                    combined[key] = list(self.combiner(key, values))
-                    self.stats.combine_output_records += len(combined[key])
-                emitted = combined
-            for key, values in emitted.items():
+        for groups, input_records, map_output, combine_output in (
+            partition_results
+        ):
+            self.stats.input_records += input_records
+            self.stats.map_output_records += map_output
+            self.stats.combine_output_records += combine_output
+            for key, values in groups:
                 shuffled.setdefault(key, []).extend(values)
 
         # Reduce in deterministic key order.
+        keys = sorted(shuffled, key=repr)
+        self.stats.reduce_groups = len(keys)
         output: list[Any] = []
-        for key in sorted(shuffled, key=repr):
-            self.stats.reduce_groups += 1
-            output.extend(self.reducer(key, shuffled[key]))
+        if parallel and keys:
+            group_chunks = self._chunk_groups(keys, shuffled)
+            for chunk_output in pool.map(
+                _ReduceTask(self.reducer), group_chunks
+            ):
+                for group_output in chunk_output:
+                    output.extend(group_output)
+        else:
+            for key in keys:
+                output.extend(self.reducer(key, shuffled[key]))
         self.stats.output_records = len(output)
         return output
+
+    # ------------------------------------------------------------------
+    def _worker_count(self) -> int:
+        return self.max_workers or os.cpu_count() or 1
+
+    def _check_picklable(self) -> None:
+        try:
+            pickle.dumps((self.mapper, self.reducer, self.combiner))
+        except Exception as exc:
+            raise ReproError(
+                "the process executor needs picklable job functions "
+                "(module-level functions or functools.partial over them); "
+                f"pickling failed with: {exc!r}"
+            ) from exc
+
+    def _chunk_groups(
+        self, keys: list[K], shuffled: dict[K, list[V]]
+    ) -> list[list[tuple[K, list[V]]]]:
+        """Key-groups batched into roughly 4 chunks per worker.
+
+        Chunking amortizes per-task pickling overhead while keeping
+        enough tasks in flight to balance skewed groups.
+        """
+        target_chunks = self._worker_count() * 4
+        chunk_size = max(1, -(-len(keys) // target_chunks))
+        return [
+            [(key, shuffled[key]) for key in keys[start : start + chunk_size]]
+            for start in range(0, len(keys), chunk_size)
+        ]
 
     def _split(self, records: Iterable[Any]) -> list[list[Any]]:
         partitions: list[list[Any]] = [[] for _ in range(self.partitions)]
         for index, record in enumerate(records):
             partitions[index % self.partitions].append(record)
         return partitions
+
+
+class _MapTask:
+    """Picklable callable binding a mapper/combiner for pool dispatch."""
+
+    __slots__ = ("mapper", "combiner")
+
+    def __init__(self, mapper: Mapper, combiner: Combiner | None) -> None:
+        self.mapper = mapper
+        self.combiner = combiner
+
+    def __call__(self, partition: list[Any]):
+        return _map_partition(self.mapper, self.combiner, partition)
+
+
+class _ReduceTask:
+    """Picklable callable binding a reducer for pool dispatch."""
+
+    __slots__ = ("reducer",)
+
+    def __init__(self, reducer: Reducer) -> None:
+        self.reducer = reducer
+
+    def __call__(self, groups: list[tuple[Any, list[Any]]]):
+        return _reduce_chunk(self.reducer, groups)
 
 
 @dataclass(slots=True)
@@ -132,11 +303,30 @@ class Pipeline:
         return output
 
 
-def word_count(documents: Iterable[str]) -> dict[str, int]:
+def _wc_mapper(doc: str) -> list[tuple[str, int]]:
+    return [(word.lower(), 1) for word in doc.split()]
+
+
+def _wc_reducer(word: str, counts: list[int]) -> list[tuple[str, int]]:
+    return [(word, sum(counts))]
+
+
+def _wc_combiner(_word: str, counts: list[int]) -> list[int]:
+    return [sum(counts)]
+
+
+def word_count(
+    documents: Iterable[str],
+    *,
+    executor: str = "serial",
+    max_workers: int | None = None,
+) -> dict[str, int]:
     """The canonical demo job; doubles as an engine self-test."""
     job: MapReduceJob[str, int] = MapReduceJob(
-        mapper=lambda doc: [(word.lower(), 1) for word in doc.split()],
-        reducer=lambda word, counts: [(word, sum(counts))],
-        combiner=lambda word, counts: [sum(counts)],
+        mapper=_wc_mapper,
+        reducer=_wc_reducer,
+        combiner=_wc_combiner,
+        executor=executor,
+        max_workers=max_workers,
     )
     return dict(job.run(documents))

@@ -11,34 +11,55 @@ pattern; the same structure is reproduced here on the local engine:
 
 Results agree with the in-memory implementations (tested), so the jobs
 serve as the scale-out path rather than a separate algorithm.
+
+Every mapper/reducer/combiner here is a module-level function (round
+state such as the accuracy table is bound with ``functools.partial``),
+which makes the job definitions picklable — the contract of the
+engine's ``"process"`` executor.  Both entry points accept ``executor``
+and ``max_workers`` and produce byte-identical results under either
+executor (the engine's determinism guarantee).
 """
 
 from __future__ import annotations
 
+import functools
 import math
 
 from repro.fusion.base import Claim, ClaimSet, FusionResult, Item
 from repro.mapreduce.engine import MapReduceJob
 
 
-def mr_vote(claims: ClaimSet, *, partitions: int = 4) -> FusionResult:
+def _vote_mapper(claim: Claim):
+    yield claim.item, (claim.value, claim.source_id)
+
+
+def _vote_reducer(item: Item, votes: list[tuple[str, str]]):
+    sources_per_value: dict[str, set[str]] = {}
+    for value, source in votes:
+        sources_per_value.setdefault(value, set()).add(source)
+    scores = {
+        value: float(len(sources))
+        for value, sources in sources_per_value.items()
+    }
+    winner = min(scores, key=lambda value: (-scores[value], value))
+    yield item, winner, scores
+
+
+def mr_vote(
+    claims: ClaimSet,
+    *,
+    partitions: int = 4,
+    executor: str = "serial",
+    max_workers: int | None = None,
+) -> FusionResult:
     """VOTE as a single MapReduce job."""
-
-    def mapper(claim: Claim):
-        yield claim.item, (claim.value, claim.source_id)
-
-    def reducer(item: Item, votes: list[tuple[str, str]]):
-        sources_per_value: dict[str, set[str]] = {}
-        for value, source in votes:
-            sources_per_value.setdefault(value, set()).add(source)
-        scores = {
-            value: float(len(sources))
-            for value, sources in sources_per_value.items()
-        }
-        winner = min(scores, key=lambda value: (-scores[value], value))
-        yield item, winner, scores
-
-    job: MapReduceJob = MapReduceJob(mapper, reducer, partitions=partitions)
+    job: MapReduceJob = MapReduceJob(
+        _vote_mapper,
+        _vote_reducer,
+        partitions=partitions,
+        executor=executor,
+        max_workers=max_workers,
+    )
     result = FusionResult("mr-vote")
     for item, winner, scores in job.run(claims):
         result.truths[item] = {winner}
@@ -47,6 +68,52 @@ def mr_vote(claims: ClaimSet, *, partitions: int = 4) -> FusionResult:
             result.belief[(item, value)] = score / total if total else 0.0
     result.iterations = 1
     return result
+
+
+def _accu_score_mapper(claim: Claim):
+    yield claim.item, claim
+
+
+def _accu_score_reducer(
+    acc_snapshot: dict[str, float],
+    n_false_values: int,
+    min_accuracy: float,
+    max_accuracy: float,
+    item: Item,
+    item_claims: list[Claim],
+):
+    votes: dict[str, float] = {}
+    for claim in item_claims:
+        source_accuracy = min(
+            max(acc_snapshot[claim.source_id], min_accuracy),
+            max_accuracy,
+        )
+        votes[claim.value] = votes.get(claim.value, 0.0) + math.log(
+            n_false_values * source_accuracy / (1.0 - source_accuracy)
+        )
+    top = max(votes.values())
+    weights = {value: math.exp(vote - top) for value, vote in votes.items()}
+    total = sum(weights.values())
+    for claim in item_claims:
+        yield item, claim.value, claim.source_id, (
+            weights[claim.value] / total
+        )
+
+
+def _accuracy_mapper(record):
+    return [(record[2], (record[3], 1))]
+
+
+def _accuracy_reducer(source, pairs):
+    return [
+        (source, sum(p for p, _ in pairs) / sum(c for _, c in pairs))
+    ]
+
+
+def _accuracy_combiner(_source, pairs):
+    # The accuracy job shuffles (sum, count) pairs, not averages: a
+    # per-partition combiner must stay associative to be exact.
+    return [(sum(p for p, _ in pairs), sum(c for _, c in pairs))]
 
 
 def mr_accu(
@@ -58,13 +125,17 @@ def mr_accu(
     partitions: int = 4,
     min_accuracy: float = 0.05,
     max_accuracy: float = 0.99,
+    executor: str = "serial",
+    max_workers: int | None = None,
 ) -> FusionResult:
     """ACCU as alternating MapReduce rounds.
 
     Round structure (per Dong et al.'s scale-up):
 
     1. job keyed by **item**: compute value probabilities under the
-       current accuracy table (broadcast like a distributed cache);
+       current accuracy table (broadcast like a distributed cache —
+       under the process executor the snapshot rides along inside each
+       round's pickled reducer);
     2. job keyed by **source**: average the probabilities of each
        source's claims into its new accuracy.
     """
@@ -76,31 +147,18 @@ def mr_accu(
     for final_round in range(1, rounds + 1):
         acc_snapshot = dict(accuracy)  # the broadcast side-input
 
-        def score_mapper(claim: Claim):
-            yield claim.item, claim
-
-        def score_reducer(item: Item, item_claims: list[Claim]):
-            votes: dict[str, float] = {}
-            for claim in item_claims:
-                source_accuracy = min(
-                    max(acc_snapshot[claim.source_id], min_accuracy),
-                    max_accuracy,
-                )
-                votes[claim.value] = votes.get(claim.value, 0.0) + math.log(
-                    n_false_values * source_accuracy / (1.0 - source_accuracy)
-                )
-            top = max(votes.values())
-            weights = {
-                value: math.exp(vote - top) for value, vote in votes.items()
-            }
-            total = sum(weights.values())
-            for claim in item_claims:
-                yield item, claim.value, claim.source_id, (
-                    weights[claim.value] / total
-                )
-
         score_job: MapReduceJob = MapReduceJob(
-            score_mapper, score_reducer, partitions=partitions
+            _accu_score_mapper,
+            functools.partial(
+                _accu_score_reducer,
+                acc_snapshot,
+                n_false_values,
+                min_accuracy,
+                max_accuracy,
+            ),
+            partitions=partitions,
+            executor=executor,
+            max_workers=max_workers,
         )
         scored = score_job.run(claim_list)
 
@@ -108,20 +166,13 @@ def mr_accu(
         for item, value, _source, probability in scored:
             probabilities[(item, value)] = probability
 
-        # The accuracy job shuffles (sum, count) pairs, not averages:
-        # a per-partition combiner must stay associative to be exact.
         accuracy_job: MapReduceJob = MapReduceJob(
-            lambda record: [(record[2], (record[3], 1))],
-            lambda source, pairs: [
-                (
-                    source,
-                    sum(p for p, _ in pairs) / sum(c for _, c in pairs),
-                )
-            ],
-            combiner=lambda _source, pairs: [
-                (sum(p for p, _ in pairs), sum(c for _, c in pairs))
-            ],
+            _accuracy_mapper,
+            _accuracy_reducer,
+            combiner=_accuracy_combiner,
             partitions=partitions,
+            executor=executor,
+            max_workers=max_workers,
         )
         new_accuracy = {
             source: min(max(value, min_accuracy), max_accuracy)

@@ -15,7 +15,7 @@ and attributes *properties*.  Key modelling points taken from the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.errors import OntologyError

@@ -28,7 +28,7 @@ from repro.errors import GenerationError
 from repro.rdf.ontology import Entity
 from repro.rdf.store import TripleStore
 from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
-from repro.synth.catalog import CLASS_NAMES, AttributeSpec
+from repro.synth.catalog import AttributeSpec
 from repro.synth.noise import corrupt_value
 from repro.synth.world import GroundTruthWorld
 

@@ -12,7 +12,7 @@ error rates.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import GenerationError
 from repro.synth import names

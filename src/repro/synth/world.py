@@ -16,7 +16,6 @@ import random
 from dataclasses import dataclass, field
 
 from repro.errors import GenerationError
-from repro.rdf.hierarchy import ValueHierarchy
 from repro.rdf.ontology import Attribute, Entity, Ontology, OntologyClass
 from repro.rdf.store import TripleStore
 from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value, ValueKind

@@ -1,6 +1,13 @@
 """Text substrate: tokenization, sentences, similarity, normalisation,
 and the lexical-pattern engine."""
 
+from repro.textproc.memo import (
+    CacheStats,
+    clear_similarity_caches,
+    configure_similarity_caches,
+    similarity_cache_stats,
+    similarity_caches_enabled,
+)
 from repro.textproc.normalize import (
     canonical_key,
     is_probable_misspelling,
@@ -26,9 +33,14 @@ from repro.textproc.similarity import (
 from repro.textproc.tokenize import detokenize, normalize_token, tokenize_words
 
 __all__ = [
+    "CacheStats",
     "LexicalPattern",
     "PatternMatch",
     "canonical_key",
+    "clear_similarity_caches",
+    "configure_similarity_caches",
+    "similarity_cache_stats",
+    "similarity_caches_enabled",
     "detokenize",
     "induce_pattern",
     "is_probable_misspelling",

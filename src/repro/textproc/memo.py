@@ -1,0 +1,219 @@
+"""Bounded memoization for hot-path similarity functions.
+
+Attribute resolution and DOM extraction recompute the same pairwise
+similarities thousands of times: the resolver compares every attribute
+variant against every accepted canonical name, and Algorithm 1 scores
+every candidate label's tag path against every induced pattern — with
+the same paths recurring across pages that share a layout.  All of the
+underlying functions are pure, so a memo table turns the quadratic
+recomputation into dictionary lookups.
+
+The cache layer here is deliberately boring:
+
+* **bounded** — each cache holds at most ``max_size`` entries and
+  evicts in insertion (FIFO) order, so memory use cannot grow without
+  limit on adversarial inputs;
+* **observable** — every cache counts hits, misses and evictions;
+  :func:`similarity_cache_stats` snapshots them (the numbers feed
+  ``BENCH_parallel.json``);
+* **transparent** — scores are identical with caching on or off
+  (tested), and :func:`configure_similarity_caches` can disable the
+  layer globally for debugging or measurement.
+
+Caches are per-process: worker processes spawned by the parallel
+execution layer each warm their own table, which is exactly the
+behaviour a distributed deployment would have.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections.abc import Callable
+from dataclasses import dataclass
+
+DEFAULT_MAX_SIZE = 65_536
+
+_ENABLED = True
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    max_size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "max_size": self.max_size,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class BoundedCache:
+    """A FIFO-bounded memo table with hit/miss/eviction counters.
+
+    FIFO (rather than LRU) keeps the hot path to two dict operations;
+    for the pairwise-similarity workloads here the working set either
+    fits entirely (typical) or churns regardless of policy.
+    """
+
+    __slots__ = ("name", "max_size", "hits", "misses", "evictions", "_table")
+
+    def __init__(self, name: str, max_size: int = DEFAULT_MAX_SIZE) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        self.name = name
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._table: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup(self, key):
+        """The cached value, or ``_MISS`` when absent."""
+        value = self._table.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def store(self, key, value) -> None:
+        if key in self._table:
+            return
+        if len(self._table) >= self.max_size:
+            self._table.pop(next(iter(self._table)))
+            self.evictions += 1
+        self._table[key] = value
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            name=self.name,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._table),
+            max_size=self.max_size,
+        )
+
+
+class _Miss:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<cache miss>"
+
+
+_MISS = _Miss()
+
+# Registry of every memoized similarity function's cache, by name.
+_REGISTRY: dict[str, BoundedCache] = {}
+
+
+def memoized_pair(
+    name: str,
+    *,
+    max_size: int = DEFAULT_MAX_SIZE,
+    symmetric: bool = True,
+) -> Callable:
+    """Decorate a pure two-argument similarity function with a cache.
+
+    ``symmetric=True`` canonicalises the key order (``f(a, b) ==
+    f(b, a)``), doubling the hit rate of pairwise loops; it requires
+    the arguments to be orderable.  Extra positional and keyword
+    arguments participate in the key, so variants like
+    ``levenshtein(..., limit=2)`` never collide with the unlimited
+    computation.
+    """
+    cache = BoundedCache(name, max_size)
+    _REGISTRY[name] = cache
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(left, right, *args, **kwargs):
+            if not _ENABLED:
+                return fn(left, right, *args, **kwargs)
+            if symmetric and right < left:
+                key_pair = (right, left)
+            else:
+                key_pair = (left, right)
+            key = key_pair
+            if args:
+                key = key + args
+            if kwargs:
+                key = key + tuple(sorted(kwargs.items()))
+            value = cache.lookup(key)
+            if value is _MISS:
+                value = fn(left, right, *args, **kwargs)
+                cache.store(key, value)
+            return value
+
+        wrapper.cache = cache
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate
+
+
+def configure_similarity_caches(
+    *, enabled: bool | None = None, max_size: int | None = None
+) -> None:
+    """Globally enable/disable the cache layer and/or resize every cache.
+
+    Resizing clears the tables (entries beyond the new bound would
+    otherwise linger); toggling does not.
+    """
+    global _ENABLED
+    if enabled is not None:
+        _ENABLED = enabled
+    if max_size is not None:
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        for cache in _REGISTRY.values():
+            cache.max_size = max_size
+            cache.clear()
+
+
+def similarity_caches_enabled() -> bool:
+    return _ENABLED
+
+
+def similarity_cache_stats() -> dict[str, CacheStats]:
+    """Name → counter snapshot for every registered cache."""
+    return {name: cache.stats() for name, cache in _REGISTRY.items()}
+
+
+def clear_similarity_caches(*, reset_counters: bool = True) -> None:
+    """Empty every cache (and by default zero its counters)."""
+    for cache in _REGISTRY.values():
+        cache.clear()
+        if reset_counters:
+            cache.reset_counters()

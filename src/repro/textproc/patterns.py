@@ -18,7 +18,7 @@ semantics (token counts, per-slot validators) stay explicit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import ParseError

@@ -5,9 +5,18 @@ all need cheap, dependency-free string similarity.  Implemented here:
 Levenshtein distance (with a band-optimised early exit), Jaro and
 Jaro-Winkler similarity, token Jaccard, and a combined name similarity
 used by record linkage.
+
+The comparison functions are pure, and the hot paths (attribute
+resolution, entity linking) call them with heavily repeating argument
+pairs, so each is memoized through the bounded cache layer in
+:mod:`repro.textproc.memo`.  Scores are identical with caching on or
+off; ``configure_similarity_caches(enabled=False)`` bypasses the
+tables entirely.
 """
 
 from __future__ import annotations
+
+from repro.textproc.memo import memoized_pair
 
 
 def levenshtein(left: str, right: str, *, limit: int | None = None) -> int:
@@ -16,6 +25,10 @@ def levenshtein(left: str, right: str, *, limit: int | None = None) -> int:
     When ``limit`` is given and the true distance exceeds it, any value
     greater than ``limit`` may be returned (callers only compare against
     the limit), which lets the DP exit early.
+
+    The O(1) outcomes are answered directly; only pairs that reach the
+    dynamic program go through the memo table, so the cache layer never
+    slows down the trivial calls that dominate tight loops.
     """
     if left == right:
         return 0
@@ -25,6 +38,12 @@ def levenshtein(left: str, right: str, *, limit: int | None = None) -> int:
         return len(left)
     if limit is not None and abs(len(left) - len(right)) > limit:
         return limit + 1
+    return _levenshtein_dp(left, right, limit)
+
+
+@memoized_pair("levenshtein", max_size=262_144)
+def _levenshtein_dp(left: str, right: str, limit: int | None) -> int:
+    """The cached dynamic-programming core of :func:`levenshtein`."""
     if limit is not None and limit <= 3:
         return _banded_levenshtein(left, right, limit)
     previous = list(range(len(right) + 1))
@@ -125,6 +144,7 @@ def jaro(left: str, right: str) -> float:
     ) / 3.0
 
 
+@memoized_pair("jaro-winkler")
 def jaro_winkler(left: str, right: str, *, prefix_scale: float = 0.1) -> float:
     """Jaro-Winkler similarity, boosting shared prefixes (≤ 4 chars)."""
     base = jaro(left, right)
@@ -136,6 +156,7 @@ def jaro_winkler(left: str, right: str, *, prefix_scale: float = 0.1) -> float:
     return base + prefix * prefix_scale * (1.0 - base)
 
 
+@memoized_pair("token-jaccard")
 def token_jaccard(left: str, right: str) -> float:
     """Jaccard similarity of lower-cased token sets."""
     tokens_left = set(left.lower().split())
@@ -148,6 +169,7 @@ def token_jaccard(left: str, right: str) -> float:
     return overlap / len(tokens_left | tokens_right)
 
 
+@memoized_pair("name-similarity")
 def name_similarity(left: str, right: str) -> float:
     """Combined similarity for entity/attribute names in ``[0, 1]``.
 

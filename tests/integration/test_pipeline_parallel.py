@@ -1,0 +1,113 @@
+"""Concurrent extractor execution produces the serial pipeline's output.
+
+The pipeline's parallel mode runs KB extraction next to query-log
+generation (phase A) and the DOM/Web-text extractors side by side
+(phase B).  Every stage is a deterministic function of the world and
+its config, so the fused knowledge — claims, metrics, augmentation —
+must be identical to a serial run's.  A small world keeps this fast.
+"""
+
+import pytest
+
+from repro.core.pipeline import (
+    KnowledgeBaseConstructionPipeline,
+    PipelineConfig,
+)
+from repro.errors import PipelineError
+from repro.synth.kb_snapshots import KbPairConfig
+from repro.synth.querylog import QueryLogConfig
+from repro.synth.websites import WebsiteConfig
+from repro.synth.webtext import WebTextConfig
+from repro.synth.world import WorldConfig
+
+
+def _small_config(**overrides) -> PipelineConfig:
+    return PipelineConfig(
+        world=WorldConfig(
+            entities_per_class={
+                "Book": 15, "Film": 15, "Country": 12,
+                "University": 12, "Hotel": 10,
+            }
+        ),
+        querylog=QueryLogConfig(seed=17, scale=0.0005),
+        websites=WebsiteConfig(sites_per_class=2, pages_per_site=6),
+        webtext=WebTextConfig(sources_per_class=2, documents_per_source=6),
+        kb_pair=KbPairConfig(),
+        **overrides,
+    )
+
+
+def _run(config):
+    pipeline = KnowledgeBaseConstructionPipeline(config)
+    report = pipeline.run()
+    return pipeline, report
+
+
+def _claim_signature(pipeline):
+    return sorted(
+        (claim.item, claim.value, claim.source_id, claim.extractor_id,
+         claim.confidence)
+        for claim in pipeline.claims
+    )
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return _run(_small_config())
+
+
+@pytest.fixture(scope="module")
+def parallel_process(serial):
+    return _run(_small_config(parallelism=2, stage_executor="process"))
+
+
+class TestParallelEquivalence:
+    def test_claims_identical(self, serial, parallel_process):
+        assert _claim_signature(serial[0]) == _claim_signature(
+            parallel_process[0]
+        )
+
+    def test_metrics_identical(self, serial, parallel_process):
+        serial_report = serial[1].fusion_report
+        parallel_report = parallel_process[1].fusion_report
+        assert serial_report.precision == parallel_report.precision
+        assert serial_report.recall == parallel_report.recall
+        assert serial_report.f1 == parallel_report.f1
+
+    def test_per_extractor_yield_identical(self, serial, parallel_process):
+        assert serial[1].triple_counts == parallel_process[1].triple_counts
+        assert (
+            serial[1].attribute_counts == parallel_process[1].attribute_counts
+        )
+        assert serial[1].seed_sizes == parallel_process[1].seed_sizes
+
+    def test_stage_timings_complete(self, serial, parallel_process):
+        stages = [timing.stage for timing in parallel_process[1].timings]
+        assert stages[:4] == [
+            "kb-extraction", "query-stream",
+            "dom-extraction", "webtext-extraction",
+        ]
+        assert [t.stage for t in serial[1].timings] == stages
+
+    def test_extraction_wall_recorded_only_when_parallel(
+        self, serial, parallel_process
+    ):
+        assert serial[1].extraction_wall == {}
+        assert set(parallel_process[1].extraction_wall) == {
+            "phase-a", "phase-b",
+        }
+        assert all(
+            seconds > 0
+            for seconds in parallel_process[1].extraction_wall.values()
+        )
+
+    def test_thread_executor_also_identical(self, serial):
+        pipeline, report = _run(
+            _small_config(parallelism=2, stage_executor="thread")
+        )
+        assert _claim_signature(serial[0]) == _claim_signature(pipeline)
+        assert report.fusion_report.f1 == serial[1].fusion_report.f1
+
+    def test_bad_stage_executor_rejected(self):
+        with pytest.raises(PipelineError, match="stage_executor"):
+            _run(_small_config(parallelism=2, stage_executor="fork"))

@@ -159,3 +159,41 @@ class TestTable3Shape:
         _, stats = extractor.extract(query_log)
         assert stats.credible_attributes.get("Country", 0) > 0
         assert stats.credible_attributes.get("Book", 0) > 0
+
+
+class TestNoClaimsByDesign:
+    """Regression: the extractor contributes attributes, never claims.
+
+    Query records are questions — they name an attribute and an entity
+    but carry no value — so the extractor has no facts to claim; its
+    contribution reaches fusion through the seed sets that drive the
+    DOM and Web-text extractors (see the module docstring).  These
+    tests pin that contract: if someone plumbs triples into this
+    extractor (or breaks the attribute → seed path), they fail.
+    """
+
+    def test_credible_attributes_but_zero_triples(self):
+        extractor = make_extractor(
+            QueryStreamConfig(min_support=1, min_entity_support=1)
+        )
+        output, stats = extractor.extract(
+            records(
+                "what is the capital of france",
+                "the population of france",
+            )
+        )
+        assert output.attribute_names("Country") == {"capital", "population"}
+        assert sum(stats.credible_attributes.values()) > 0
+        assert output.triples == []
+
+    def test_discovered_attributes_flow_into_seed_sets(self):
+        from repro.extract.seeds import build_seed_sets
+
+        extractor = make_extractor(
+            QueryStreamConfig(min_support=1, min_entity_support=1)
+        )
+        output, _ = extractor.extract(
+            records("what is the capital of france")
+        )
+        seeds = build_seed_sets([output], ["Country"], min_support=1)
+        assert "capital" in seeds["Country"]

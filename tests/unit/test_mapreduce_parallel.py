@@ -1,0 +1,206 @@
+"""Multiprocess MapReduce: equivalence with the serial executor.
+
+The engine guarantees that the ``"process"`` executor produces output
+*identical* to ``"serial"`` regardless of worker count or partitioning
+(deterministic shuffle + key-ordered reduce).  These tests pin the
+guarantee for the fusion jobs the paper scales out — VOTE and ACCU —
+across 1/2/4 workers and 1/4/16 partitions, plus the engine-level
+mechanics (stats merging, picklability errors, chunked dispatch).
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mapreduce.engine import MapReduceJob, word_count
+from repro.mapreduce.jobs import mr_accu, mr_vote
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+
+WORKER_COUNTS = [1, 2, 4]
+PARTITION_COUNTS = [1, 4, 16]
+
+
+@pytest.fixture(scope="module")
+def claims():
+    world = generate_claim_world(
+        ClaimWorldConfig(seed=47, n_items=60, n_sources=8)
+    )
+    return world.claims
+
+
+@pytest.fixture(scope="module")
+def serial_vote(claims):
+    """Serial VOTE per partition count.
+
+    Partitioning itself can perturb float aggregation at ULP level
+    (the combiner changes summation order), so the executor guarantee
+    is: process output is identical to serial output *for the same
+    partitioning*, at any worker count.
+    """
+    return {
+        partitions: mr_vote(claims, partitions=partitions)
+        for partitions in PARTITION_COUNTS
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_accu(claims):
+    return {
+        partitions: mr_accu(claims, rounds=4, partitions=partitions)
+        for partitions in PARTITION_COUNTS
+    }
+
+
+def _fusion_state(result):
+    """Everything a fusion result decides, in comparable form."""
+    return (
+        result.truths,
+        result.belief,
+        result.source_quality,
+        result.iterations,
+    )
+
+
+def _canonical_bytes(result) -> bytes:
+    """A canonical byte serialization of a fusion result's decisions."""
+    return repr(
+        (
+            sorted((item, sorted(values)) for item, values in
+                   result.truths.items()),
+            sorted(result.belief.items()),
+            sorted(result.source_quality.items()),
+        )
+    ).encode()
+
+
+class TestVoteEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+    def test_identical_to_serial(
+        self, claims, serial_vote, workers, partitions
+    ):
+        serial = serial_vote[partitions]
+        parallel = mr_vote(
+            claims,
+            partitions=partitions,
+            executor="process",
+            max_workers=workers,
+        )
+        assert _fusion_state(parallel) == _fusion_state(serial)
+        # Byte-identical fused state on a canonical serialization
+        # (pickle bytes can differ for equal graphs: object sharing is
+        # lost at the process boundary and pickle memoizes it).
+        assert _canonical_bytes(parallel) == _canonical_bytes(serial)
+
+
+class TestAccuEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("partitions", PARTITION_COUNTS)
+    def test_identical_to_serial(
+        self, claims, serial_accu, workers, partitions
+    ):
+        parallel = mr_accu(
+            claims,
+            rounds=4,
+            partitions=partitions,
+            executor="process",
+            max_workers=workers,
+        )
+        assert _fusion_state(parallel) == _fusion_state(
+            serial_accu[partitions]
+        )
+
+
+class TestEngineMechanics:
+    def test_word_count_process_executor(self):
+        documents = ["a b a", "b c", "A"]
+        assert word_count(
+            documents, executor="process", max_workers=2
+        ) == word_count(documents)
+
+    def test_output_order_identical(self):
+        documents = [f"w{i % 7} w{i % 3}" for i in range(40)]
+
+        def jobs():
+            for executor, workers in (("serial", None), ("process", 2)):
+                yield MapReduceJob(
+                    _split_mapper,
+                    _count_reducer,
+                    partitions=5,
+                    executor=executor,
+                    max_workers=workers,
+                )
+
+        serial_job, process_job = jobs()
+        assert serial_job.run(documents) == process_job.run(documents)
+
+    def test_stats_merged_across_workers(self):
+        documents = ["x y", "x", "y z w"]
+        serial_job = MapReduceJob(_split_mapper, _count_reducer)
+        process_job = MapReduceJob(
+            _split_mapper,
+            _count_reducer,
+            executor="process",
+            max_workers=2,
+        )
+        serial_job.run(documents)
+        process_job.run(documents)
+        assert process_job.stats == serial_job.stats
+        assert process_job.stats.input_records == 3
+        assert process_job.stats.map_output_records == 6
+
+    def test_combiner_stats_under_process_executor(self):
+        documents = ["x x x x"] * 10
+        job = MapReduceJob(
+            _split_mapper,
+            _count_reducer,
+            combiner=_sum_combiner,
+            partitions=2,
+            executor="process",
+            max_workers=2,
+        )
+        job.run(documents)
+        assert job.stats.map_output_records == 40
+        assert job.stats.combine_output_records == 2
+
+    def test_unpicklable_job_raises_clear_error(self):
+        job = MapReduceJob(
+            lambda record: [(record, 1)],
+            lambda key, values: [key],
+            executor="process",
+            max_workers=2,
+        )
+        with pytest.raises(ReproError, match="picklable"):
+            job.run(["a"])
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(ReproError, match="executor"):
+            MapReduceJob(
+                _split_mapper, _count_reducer, executor="threads"
+            )
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ReproError, match="max_workers"):
+            MapReduceJob(
+                _split_mapper, _count_reducer, max_workers=0
+            )
+
+    def test_empty_input_process_executor(self):
+        job = MapReduceJob(
+            _split_mapper,
+            _count_reducer,
+            executor="process",
+            max_workers=2,
+        )
+        assert job.run([]) == []
+
+
+def _split_mapper(doc):
+    return [(word, 1) for word in doc.split()]
+
+
+def _count_reducer(word, counts):
+    return [(word, sum(counts))]
+
+
+def _sum_combiner(_word, counts):
+    return [sum(counts)]

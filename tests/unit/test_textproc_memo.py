@@ -1,0 +1,167 @@
+"""Tests for the bounded similarity-cache layer."""
+
+import pytest
+
+from repro.htmldom.tagpath import RelativeTagPath, path_similarity
+from repro.textproc.memo import (
+    BoundedCache,
+    clear_similarity_caches,
+    configure_similarity_caches,
+    memoized_pair,
+    similarity_cache_stats,
+    similarity_caches_enabled,
+)
+from repro.textproc.similarity import (
+    jaro_winkler,
+    levenshtein,
+    name_similarity,
+    token_jaccard,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_caches():
+    """Each test starts from empty caches and the enabled state."""
+    clear_similarity_caches()
+    configure_similarity_caches(enabled=True)
+    yield
+    clear_similarity_caches()
+    configure_similarity_caches(enabled=True)
+
+
+class TestBoundedCache:
+    def test_hit_and_miss_counters(self):
+        cache = BoundedCache("t", max_size=8)
+        assert cache.lookup("k") is not None  # a miss sentinel
+        assert cache.misses == 1 and cache.hits == 0
+        cache.store("k", 42)
+        assert cache.lookup("k") == 42
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.stats().hit_rate == 0.5
+
+    def test_bounded_size_with_evictions(self):
+        cache = BoundedCache("t", max_size=4)
+        for i in range(10):
+            cache.store(i, i)
+        assert len(cache) == 4
+        assert cache.evictions == 6
+        # FIFO: the oldest keys are gone, the newest survive.
+        assert cache.lookup(9) == 9
+        from repro.textproc.memo import _MISS
+
+        assert cache.lookup(0) is _MISS
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            BoundedCache("t", max_size=0)
+
+
+class TestMemoizedPair:
+    def test_computes_once_per_pair(self):
+        calls = []
+
+        @memoized_pair("test-pair-once", max_size=16)
+        def f(a, b):
+            calls.append((a, b))
+            return len(a) + len(b)
+
+        assert f("x", "yy") == 3
+        assert f("x", "yy") == 3
+        assert calls == [("x", "yy")]
+
+    def test_symmetric_key_shares_entry(self):
+        @memoized_pair("test-pair-sym", max_size=16)
+        def f(a, b):
+            return len(a) + len(b)
+
+        f("aa", "b")
+        assert f.cache.misses == 1
+        f("b", "aa")
+        assert f.cache.hits == 1
+
+    def test_kwargs_partition_the_key(self):
+        @memoized_pair("test-pair-kw", max_size=16)
+        def f(a, b, scale=1):
+            return (len(a) + len(b)) * scale
+
+        assert f("a", "b", scale=1) == 2
+        assert f("a", "b", scale=3) == 6  # no collision
+        assert f.cache.misses == 2
+
+
+class TestSimilarityFunctionsCached:
+    def test_scores_identical_with_cache_on_and_off(self):
+        pairs = [
+            ("adelaide", "adelade"),
+            ("university of adelaide", "adelaide university"),
+            ("publication date", "date of publication"),
+            ("", "x"),
+            ("same", "same"),
+        ]
+        functions = [
+            lambda a, b: levenshtein(a, b),
+            lambda a, b: levenshtein(a, b, limit=2),
+            jaro_winkler,
+            token_jaccard,
+            name_similarity,
+        ]
+        configure_similarity_caches(enabled=True)
+        cached = [[f(a, b) for a, b in pairs] for f in functions]
+        # Warm pass: answered from the tables, must not drift.
+        warm = [[f(a, b) for a, b in pairs] for f in functions]
+        configure_similarity_caches(enabled=False)
+        plain = [[f(a, b) for a, b in pairs] for f in functions]
+        assert cached == plain == warm
+
+    def test_levenshtein_trivial_calls_bypass_cache(self):
+        stats_before = similarity_cache_stats()["levenshtein"].lookups
+        assert levenshtein("same", "same") == 0
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("ab", "abcdef", limit=2) == 3
+        assert similarity_cache_stats()["levenshtein"].lookups == stats_before
+
+    def test_tagpath_similarity_cached_and_identical(self):
+        left = RelativeTagPath(("tr", "td"), "table", ("td",))
+        right = RelativeTagPath(("tr", "td"), "table", ("td", "div"))
+        configure_similarity_caches(enabled=True)
+        cached = path_similarity(left, right)
+        again = path_similarity(left, right)
+        configure_similarity_caches(enabled=False)
+        plain = path_similarity(left, right)
+        assert cached == again == plain
+        assert left.similarity(right) == plain
+
+    def test_global_toggle(self):
+        configure_similarity_caches(enabled=False)
+        assert not similarity_caches_enabled()
+        before = similarity_cache_stats()["name-similarity"].lookups
+        name_similarity("alpha", "beta")
+        assert similarity_cache_stats()["name-similarity"].lookups == before
+        configure_similarity_caches(enabled=True)
+        assert similarity_caches_enabled()
+
+    def test_resize_clears_and_bounds(self):
+        from repro.textproc.memo import _REGISTRY
+
+        sizes = {name: cache.max_size for name, cache in _REGISTRY.items()}
+        configure_similarity_caches(max_size=4)
+        try:
+            for i in range(20):
+                name_similarity(f"left {i}", f"right {i}")
+            stats = similarity_cache_stats()["name-similarity"]
+            assert stats.size <= 4
+            assert stats.evictions > 0
+        finally:
+            for name, cache in _REGISTRY.items():
+                cache.max_size = sizes[name]
+                cache.clear()
+
+    def test_stats_snapshot_shape(self):
+        name_similarity("alpha", "beta")
+        snapshot = similarity_cache_stats()
+        assert {"levenshtein", "jaro-winkler", "token-jaccard",
+                "name-similarity", "tagpath-sequence",
+                "tagpath-relative"} <= set(snapshot)
+        entry = snapshot["name-similarity"].as_dict()
+        assert {"hits", "misses", "evictions", "size", "max_size",
+                "hit_rate"} <= set(entry)
