@@ -54,6 +54,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="process",
         help="pool type for concurrent extraction stages",
     )
+    pipeline.add_argument(
+        "--fusion-parallel", type=int, default=1, metavar="N",
+        help="shard fusion over connected components of the claim "
+        "graph on N workers (N >= 2); truths identical to serial",
+    )
+    pipeline.add_argument(
+        "--fusion-executor", choices=("process", "serial"),
+        default="process",
+        help="mapreduce executor for sharded fusion",
+    )
 
     for name, help_text in (
         ("table1", "statistics of representative KBs"),
@@ -115,6 +125,8 @@ def _run_pipeline(args) -> int:
         discover_new_entities=args.discover_entities,
         parallelism=args.parallel,
         stage_executor=args.stage_executor,
+        fusion_parallelism=args.fusion_parallel,
+        fusion_executor=args.fusion_executor,
     )
     pipeline = KnowledgeBaseConstructionPipeline(config)
     report = pipeline.run()
@@ -122,6 +134,14 @@ def _run_pipeline(args) -> int:
         print(f"{timing.stage:<22} {timing.seconds:6.2f}s  {timing.detail}")
     for phase, seconds in report.extraction_wall.items():
         print(f"{phase + ' wall':<22} {seconds:6.2f}s")
+    print(f"{'fusion wall':<22} {report.fusion_wall:6.2f}s")
+    if report.fusion_shards:
+        shards = report.fusion_shards
+        print(
+            f"{'fusion shards':<22} {shards['components']} components "
+            f"on {shards['workers']} {shards['executor']} workers, "
+            f"largest {shards['largest_claims']} claims"
+        )
     fusion = report.fusion_report
     print(
         f"fusion: {fusion.items} items, precision {fusion.precision:.3f}, "

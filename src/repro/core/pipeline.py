@@ -121,6 +121,14 @@ class PipelineConfig:
     # Pool flavour for parallel stages: "process" sidesteps the GIL for
     # these CPU-bound extractors; "thread" avoids pickling overhead.
     stage_executor: str = "process"
+    # Fusion parallelism: >= 2 shards the core fuse over the connected
+    # components of the claim graph (repro.fusion.sharding) on that
+    # many workers.  Truths are identical to the serial run; beliefs
+    # match bit-for-bit at tolerance 0 (see the sharding module's
+    # early-exit caveat).
+    fusion_parallelism: int = 1
+    # Mapreduce executor for sharded fusion: "process" or "serial".
+    fusion_executor: str = "process"
 
 
 @dataclass(slots=True)
@@ -150,6 +158,13 @@ class PipelineReport:
     # time, so ``sum(stage seconds) - extraction_wall`` is the time
     # parallelism saved.
     extraction_wall: dict[str, float] = field(default_factory=dict)
+    # Wall-clock seconds of the fuse call alone (the fusion stage
+    # timing also covers claim-set assembly and oracle construction).
+    fusion_wall: float = 0.0
+    # Connected-component accounting of a sharded fusion run (empty on
+    # serial fusion): components / workers / executor / largest_claims
+    # / component_claims.
+    fusion_shards: dict = field(default_factory=dict)
 
     def total_seconds(self) -> float:
         return sum(timing.seconds for timing in self.timings)
@@ -244,6 +259,13 @@ class KnowledgeBaseConstructionPipeline:
                 "stage_executor must be 'process' or 'thread', "
                 f"got {cfg.stage_executor!r}"
             )
+        if cfg.fusion_executor not in ("process", "serial"):
+            raise PipelineError(
+                "fusion_executor must be 'process' or 'serial', "
+                f"got {cfg.fusion_executor!r}"
+            )
+        if cfg.fusion_parallelism < 1:
+            raise PipelineError("fusion_parallelism must be >= 1")
         parallel = max(1, cfg.parallelism) > 1
         pool = None
         if parallel:
@@ -325,8 +347,21 @@ class KnowledgeBaseConstructionPipeline:
                 use_source_correlations=cfg.use_source_correlations,
                 use_extractor_correlations=cfg.use_extractor_correlations,
                 use_confidence=cfg.use_confidence,
+                parallelism=cfg.fusion_parallelism,
+                fusion_executor=cfg.fusion_executor,
             )
+            fuse_started = time.perf_counter()
             result = fusion.fuse(self.claims)
+            report.fusion_wall = time.perf_counter() - fuse_started
+            shard_stats = fusion.last_shard_stats
+            if shard_stats is not None:
+                report.fusion_shards = {
+                    "components": shard_stats.components,
+                    "workers": shard_stats.workers,
+                    "executor": shard_stats.executor,
+                    "largest_claims": shard_stats.largest_claims,
+                    "component_claims": shard_stats.component_claims,
+                }
             report.fusion_result = result
             timing.detail = (
                 f"{len(self.claims)} claims, {len(result.truths)} items"

@@ -108,27 +108,63 @@ class AttributeResolver:
             self.support, key=lambda name: (-self.support[name], name)
         )
         self._tokens_cache = {name: _content_tokens(name) for name in names}
-        # Names already accepted as canonical, in support order.
-        canonical: list[str] = []
+        # Blocking indexes over the accepted canonicals.  Each of the
+        # four merge checks admits a cheap necessary condition, so a
+        # variant only has to be compared against canonicals sharing
+        # its full stripped name, its content-token set, a length
+        # within the misspelling window, or at least one profile pair —
+        # instead of every canonical seen so far (the old O(n²) scan).
+        self._rank: dict[str, int] = {}  # canonical -> acceptance order
+        self._by_tokens: dict[frozenset[str], list[str]] = {}
+        self._by_length: dict[int, list[str]] = {}
+        self._by_pair: dict[tuple[str, str], list[str]] = {}
         for name in names:
-            target = self._find_target(name, canonical)
+            target = self._find_target(name)
             if target is None:
                 parent = _specialising_parent(name)
                 if parent is not None and parent in self.support:
                     resolution.sub_attributes[name] = parent
-                canonical.append(name)
+                self._accept_canonical(name)
             else:
                 resolution.canonical_map[name] = target
         return resolution
 
     # ------------------------------------------------------------------
-    def _find_target(self, name: str, canonical: list[str]) -> str | None:
-        """The canonical name this variant should merge into, if any."""
+    def _accept_canonical(self, name: str) -> None:
+        """Insert a newly accepted canonical into the blocking indexes."""
+        self._rank[name] = len(self._rank)
+        tokens = self._tokens_cache[name]
+        if tokens:
+            self._by_tokens.setdefault(tokens, []).append(name)
+        self._by_length.setdefault(len(name), []).append(name)
+        for pair in self.value_profiles.get(name) or ():
+            self._by_pair.setdefault(pair, []).append(name)
+
+    def _find_target(self, name: str) -> str | None:
+        """The canonical name this variant should merge into, if any.
+
+        Gathers candidates from the blocking indexes (a superset of
+        every canonical any check could match) and replays the checks
+        against them in acceptance order, so the verdict is identical
+        to scanning the full canonical list.
+        """
         stripped = _strip_qualifiers(name)
         tokens = self._tokens_cache[name]
         profile = self.value_profiles.get(name)
         name_len = len(name)
-        for target in canonical:
+
+        candidates: set[str] = set()
+        if stripped in self._rank:
+            candidates.add(stripped)
+        if tokens:
+            candidates.update(self._by_tokens.get(tokens, ()))
+        for length in range(name_len - 2, name_len + 3):
+            candidates.update(self._by_length.get(length, ()))
+        if profile:
+            for pair in profile:
+                candidates.update(self._by_pair.get(pair, ()))
+
+        for target in sorted(candidates, key=self._rank.__getitem__):
             if stripped == target:
                 return target  # qualifier wrapper
             if tokens and tokens == self._tokens_cache[target]:

@@ -13,10 +13,12 @@ from repro.fusion.calibration import (
 from repro.fusion.base import (
     Claim,
     ClaimSet,
+    ClaimSetStats,
     FusionMethod,
     FusionResult,
     value_key,
 )
+from repro.fusion.compiled import CompiledClaims, compile_claims
 from repro.fusion.confidence_weighted import GeneralizedSums, Investment
 from repro.fusion.functionality import (
     FunctionalityEstimate,
@@ -27,6 +29,7 @@ from repro.fusion.correlations import CorrelationEstimate, CorrelationEstimator
 from repro.fusion.hierarchy import CasefoldHierarchy, HierarchicalFusion
 from repro.fusion.knowledge_fusion import KnowledgeFusion
 from repro.fusion.multitruth import MultiTruth
+from repro.fusion.sharding import ShardStats, fuse_sharded, shard_claims
 from repro.fusion.vote import Vote
 
 __all__ = [
@@ -34,6 +37,8 @@ __all__ = [
     "CasefoldHierarchy",
     "Claim",
     "ClaimSet",
+    "ClaimSetStats",
+    "CompiledClaims",
     "CorrelationEstimate",
     "CorrelationEstimator",
     "FunctionalityEstimate",
@@ -46,11 +51,15 @@ __all__ = [
     "KnowledgeFusion",
     "MultiTruth",
     "PopAccu",
+    "ShardStats",
     "SourceCalibration",
     "Vote",
     "calibrate_sources",
+    "compile_claims",
     "functional_oracle_from_claims",
+    "fuse_sharded",
     "claim_world_oracle",
+    "shard_claims",
     "world_oracle",
     "value_key",
 ]

@@ -30,9 +30,18 @@ from repro.fusion.base import ClaimSet, FusionMethod, FusionResult, Item
 
 
 class Accu(FusionMethod):
-    """ACCU: Bayesian single-truth discovery with source accuracies."""
+    """ACCU: Bayesian single-truth discovery with source accuracies.
+
+    With ``compiled=True`` (the default) the fixed-point rounds run
+    over :mod:`repro.fusion.compiled` flat arrays — same float
+    operation order, so truths are byte-identical to the dict-based
+    path and beliefs bit-equal; ``compiled=False`` keeps the original
+    loops (the reference the equivalence tests pin against).
+    ``tolerance=0`` disables the convergence early-exit.
+    """
 
     name = "accu"
+    _popularity = False  # POPACCU flips this for the compiled kernel.
 
     def __init__(
         self,
@@ -45,6 +54,7 @@ class Accu(FusionMethod):
         tolerance: float = 1e-4,
         min_accuracy: float = 0.05,
         max_accuracy: float = 0.99,
+        compiled: bool = True,
     ) -> None:
         if n_false_values < 1:
             raise FusionError("n_false_values must be >= 1")
@@ -58,16 +68,34 @@ class Accu(FusionMethod):
         self.tolerance = tolerance
         self.min_accuracy = min_accuracy
         self.max_accuracy = max_accuracy
+        self.compiled = compiled
 
     # ------------------------------------------------------------------
     def fuse(self, claims: ClaimSet) -> FusionResult:
         self._check_nonempty(claims)
+        if self.compiled:
+            from repro.fusion.compiled import accu_fuse, compile_claims
+
+            return accu_fuse(
+                compile_claims(claims),
+                n_false_values=self.n_false_values,
+                initial_accuracy=self.initial_accuracy,
+                initial_accuracies=self.initial_accuracies,
+                source_weights=self.source_weights,
+                max_iterations=self.max_iterations,
+                tolerance=self.tolerance,
+                min_accuracy=self.min_accuracy,
+                max_accuracy=self.max_accuracy,
+                popularity=self._popularity,
+                name=self.name,
+            )
         accuracy = {
             source: self.initial_accuracies.get(source, self.initial_accuracy)
             for source in claims.sources()
         }
         probabilities: dict[tuple[Item, str], float] = {}
         iterations = 0
+        converged_at = None
         for iterations in range(1, self.max_iterations + 1):
             probabilities = self._estimate_probabilities(claims, accuracy)
             new_accuracy = self._estimate_accuracy(claims, probabilities)
@@ -77,9 +105,11 @@ class Accu(FusionMethod):
             )
             accuracy = new_accuracy
             if delta < self.tolerance:
+                converged_at = iterations
                 break
         result = FusionResult(self.name)
         result.iterations = iterations
+        result.converged_at = converged_at
         result.source_quality = accuracy
         result.belief = probabilities
         for item in claims.items():
@@ -161,6 +191,7 @@ class PopAccu(Accu):
     """
 
     name = "popaccu"
+    _popularity = True
 
     def _vote_counts(
         self, claims: ClaimSet, accuracy: dict[str, float], item: Item

@@ -100,6 +100,17 @@ class ClaimSet:
             for claim in claims
         }
 
+    def stats(self) -> "ClaimSetStats":
+        """Size summary of the claim set (items/values/sources/claims)."""
+        self._reindex()
+        return ClaimSetStats(
+            n_items=len(self._by_item),
+            n_values=sum(len(values) for values in self._by_item.values()),
+            n_sources=len(self.sources()),
+            n_extractors=len(self.extractors()),
+            n_claims=len(self._claims),
+        )
+
     @staticmethod
     def from_scored_triples(triples: Iterable[ScoredTriple]) -> "ClaimSet":
         """Build a claim set from extractor output."""
@@ -120,6 +131,17 @@ class ClaimSet:
 
 
 @dataclass(slots=True)
+class ClaimSetStats:
+    """Size summary of a :class:`ClaimSet`."""
+
+    n_items: int
+    n_values: int
+    n_sources: int
+    n_extractors: int
+    n_claims: int
+
+
+@dataclass(slots=True)
 class FusionResult:
     """Decided truths and beliefs of one fusion run."""
 
@@ -128,6 +150,10 @@ class FusionResult:
     belief: dict[tuple[Item, str], float] = field(default_factory=dict)
     source_quality: dict[str, float] = field(default_factory=dict)
     iterations: int = 0
+    # Round at which the fixed point converged (parameter delta under
+    # the method's tolerance), or None when the method ran all of
+    # ``max_iterations`` without converging (or does not iterate).
+    converged_at: int | None = None
 
     def is_true(self, item: Item, value: str) -> bool:
         return value in self.truths.get(item, set())

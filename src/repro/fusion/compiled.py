@@ -1,0 +1,703 @@
+"""Compiled claim matrices: flat-array fusion inner loops.
+
+The iterative fusion methods spend every fixed-point round re-walking
+Python dicts of :class:`~repro.fusion.base.Claim` objects — attribute
+chasing, per-claim ``math.log`` calls, and per-round set construction
+dominate their profiles long before the arithmetic does.  This module
+"compiles" a :class:`ClaimSet` once into integer-indexed flat arrays
+(interned item/value/source/extractor ids, ``array('d')`` confidence
+vectors, CSR-style offset tables) shared by every method, so per-round
+updates become tight loops over parallel arrays.
+
+Exactness contract
+------------------
+The compiled loops replay the *exact float operation order* of the
+dict-based implementations: items in ``claims.items()`` order, values
+in ``values_of`` insertion order, claims in ``ClaimSet`` insertion
+order, covering sources in the same set-iteration order the legacy
+code observes in this process.  Per-source logarithms are hoisted out
+of the claim loop only where the legacy code computes the same value
+repeatedly (``log`` of identical inputs is deterministic), never where
+it would reorder an accumulation.  Decided truths are therefore
+byte-identical to the legacy paths at fixed iteration counts, and
+belief/quality scores are bit-equal (asserted within 1e-9 by tests).
+
+Every compiled method reports ``converged_at`` — the round whose
+parameter delta dropped under ``tolerance`` — in the
+:class:`FusionResult`; ``tolerance=0`` disables the early exit.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from math import exp, log
+
+from repro.fusion.base import ClaimSet, FusionResult, Item
+
+__all__ = [
+    "CompiledClaims",
+    "compile_claims",
+    "accu_fuse",
+    "multitruth_fuse",
+    "gensums_fuse",
+    "investment_fuse",
+]
+
+
+@dataclass(slots=True)
+class CompiledClaims:
+    """A :class:`ClaimSet` flattened into parallel integer-indexed arrays.
+
+    A *pair* is one ``(item, value)`` candidate; pairs are contiguous
+    per item, claims are contiguous per pair, and the CSR offset
+    tables below index them without any hashing:
+
+    - ``item_pair_start[i] : item_pair_start[i + 1]`` — item *i*'s pairs;
+    - ``pair_claim_start[p] : pair_claim_start[p + 1]`` — indices into
+      ``pair_claim_ids`` of the claims asserting pair *p*;
+    - ``source_claim_start[s] : source_claim_start[s + 1]`` — indices
+      into ``source_claim_ids`` of source *s*'s claims (ascending
+      global claim order);
+    - ``item_source_start[i] : item_source_start[i + 1]`` — sources
+      covering item *i*, in the legacy set-iteration order.
+    """
+
+    items: list[Item]
+    sources: list[str]
+    extractors: list[str]
+    pair_item: list[int]
+    pair_value: list[str]
+    item_pair_start: list[int]
+    claim_pair: list[int]
+    claim_source: list[int]
+    claim_extractor: list[int]
+    claim_conf: array
+    pair_claim_start: list[int]
+    pair_claim_ids: list[int]
+    # Pre-gathered per-pair views (pair_claim_ids resolved through
+    # claim_source / claim_conf once, at compile time): one less
+    # indirection in the vote/score hot loops.
+    pair_claim_source: list[int]
+    pair_claim_conf: array
+    source_claim_start: list[int]
+    source_claim_ids: list[int]
+    item_source_start: list[int]
+    item_sources: list[int]
+    # Per pair: claiming source -> max claim confidence, in
+    # first-claim order (what multi-truth's ``claimers`` dict sees).
+    pair_claimers: list[dict[int, float]]
+
+    @property
+    def n_items(self) -> int:
+        return len(self.items)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pair_item)
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.sources)
+
+    @property
+    def n_claims(self) -> int:
+        return len(self.claim_pair)
+
+    def pair_key(self, pair: int) -> tuple[Item, str]:
+        """The ``(item, value)`` belief key of one pair."""
+        return self.items[self.pair_item[pair]], self.pair_value[pair]
+
+    def item_pairs(self, item: int) -> range:
+        return range(self.item_pair_start[item], self.item_pair_start[item + 1])
+
+    def decode_beliefs(self, scores) -> dict[tuple[Item, str], float]:
+        items, pair_item, pair_value = self.items, self.pair_item, self.pair_value
+        return {
+            (items[pair_item[p]], pair_value[p]): scores[p]
+            for p in range(len(pair_item))
+        }
+
+    def decode_quality(self, scores) -> dict[str, float]:
+        return {name: scores[s] for s, name in enumerate(self.sources)}
+
+
+def compile_claims(claims: ClaimSet) -> CompiledClaims:
+    """One-pass compilation of a claim set into flat arrays."""
+    source_id: dict[str, int] = {}
+    extractor_id: dict[str, int] = {}
+    claim_list = list(claims)
+    claim_index = {id(claim): index for index, claim in enumerate(claim_list)}
+
+    n_claims = len(claim_list)
+    claim_pair = [0] * n_claims
+    claim_source = [0] * n_claims
+    claim_extractor = [0] * n_claims
+    claim_conf = array("d", bytes(8 * n_claims))
+    for index, claim in enumerate(claim_list):
+        source = source_id.setdefault(claim.source_id, len(source_id))
+        extractor = extractor_id.setdefault(
+            claim.extractor_id, len(extractor_id)
+        )
+        claim_source[index] = source
+        claim_extractor[index] = extractor
+        claim_conf[index] = claim.confidence
+
+    items: list[Item] = []
+    pair_item: list[int] = []
+    pair_value: list[str] = []
+    item_pair_start = [0]
+    pair_claim_start = [0]
+    pair_claim_ids: list[int] = []
+    item_source_start = [0]
+    item_sources: list[int] = []
+    pair_claimers: list[dict[int, float]] = []
+    for item in claims.items():
+        item_idx = len(items)
+        items.append(item)
+        for value, value_claims in claims.values_of(item).items():
+            pair = len(pair_item)
+            pair_item.append(item_idx)
+            pair_value.append(value)
+            claimers: dict[int, float] = {}
+            for claim in value_claims:
+                index = claim_index[id(claim)]
+                claim_pair[index] = pair
+                pair_claim_ids.append(index)
+                source = claim_source[index]
+                claimers[source] = max(
+                    claimers.get(source, 0.0), claim.confidence
+                )
+            pair_claimers.append(claimers)
+            pair_claim_start.append(len(pair_claim_ids))
+        # Covering sources in the same set-iteration order the legacy
+        # per-round loops observe (stable within one process).
+        item_sources.extend(
+            source_id[name] for name in claims.sources_claiming(item)
+        )
+        item_source_start.append(len(item_sources))
+        item_pair_start.append(len(pair_item))
+
+    pair_claim_source = [claim_source[index] for index in pair_claim_ids]
+    pair_claim_conf = array(
+        "d", (claim_conf[index] for index in pair_claim_ids)
+    )
+
+    source_claim_start = [0] * (len(source_id) + 1)
+    for source in claim_source:
+        source_claim_start[source + 1] += 1
+    for source in range(len(source_id)):
+        source_claim_start[source + 1] += source_claim_start[source]
+    cursor = list(source_claim_start)
+    source_claim_ids = [0] * n_claims
+    for index, source in enumerate(claim_source):
+        source_claim_ids[cursor[source]] = index
+        cursor[source] += 1
+
+    return CompiledClaims(
+        items=items,
+        sources=list(source_id),
+        extractors=list(extractor_id),
+        pair_item=pair_item,
+        pair_value=pair_value,
+        item_pair_start=item_pair_start,
+        claim_pair=claim_pair,
+        claim_source=claim_source,
+        claim_extractor=claim_extractor,
+        claim_conf=claim_conf,
+        pair_claim_start=pair_claim_start,
+        pair_claim_ids=pair_claim_ids,
+        pair_claim_source=pair_claim_source,
+        pair_claim_conf=pair_claim_conf,
+        source_claim_start=source_claim_start,
+        source_claim_ids=source_claim_ids,
+        item_source_start=item_source_start,
+        item_sources=item_sources,
+        pair_claimers=pair_claimers,
+    )
+
+
+# ----------------------------------------------------------------------
+# ACCU / POPACCU
+
+
+def accu_fuse(
+    compiled: CompiledClaims,
+    *,
+    n_false_values: int = 10,
+    initial_accuracy: float = 0.8,
+    initial_accuracies: dict[str, float] | None = None,
+    source_weights: dict[str, float] | None = None,
+    max_iterations: int = 20,
+    tolerance: float = 1e-4,
+    min_accuracy: float = 0.05,
+    max_accuracy: float = 0.99,
+    popularity: bool = False,
+    name: str = "accu",
+) -> FusionResult:
+    """ACCU (or POPACCU when ``popularity``) over compiled arrays."""
+    cc = compiled
+    initial_accuracies = initial_accuracies or {}
+    source_weights = source_weights or {}
+    accuracy = [
+        initial_accuracies.get(source, initial_accuracy)
+        for source in cc.sources
+    ]
+    weight = [source_weights.get(source, 1.0) for source in cc.sources]
+    uniform_weights = all(w == 1.0 for w in weight)
+
+    n_pairs = cc.n_pairs
+    probabilities = array("d", bytes(8 * n_pairs))
+    votes = array("d", bytes(8 * n_pairs))
+    pair_start = cc.pair_claim_start
+    pair_source = cc.pair_claim_source
+    claim_source = cc.claim_source
+    claim_pair = cc.claim_pair
+    item_pair_start = cc.item_pair_start
+    n_items = cc.n_items
+    n_sources = cc.n_sources
+    term = [0.0] * n_sources
+
+    iterations = 0
+    converged_at: int | None = None
+    for iterations in range(1, max_iterations + 1):
+        if not popularity:
+            # The legacy loop calls log(n * a / (1 - a)) per *claim*;
+            # the input only varies per source, so hoist it (same
+            # float, computed once).
+            for s in range(n_sources):
+                clamped = accuracy[s]
+                if clamped < min_accuracy:
+                    clamped = min_accuracy
+                elif clamped > max_accuracy:
+                    clamped = max_accuracy
+                term[s] = log(n_false_values * clamped / (1.0 - clamped))
+
+        for item in range(n_items):
+            begin = item_pair_start[item]
+            end = item_pair_start[item + 1]
+            if popularity:
+                total_claims = pair_start[end] - pair_start[begin]
+                competing = 0.0
+                for pair in range(begin, end):
+                    share = (
+                        pair_start[pair + 1] - pair_start[pair]
+                    ) / total_claims
+                    competing += share * share
+                effective_n = max(1.0, 1.0 / competing)
+            top = None
+            for pair in range(begin, end):
+                vote = 0.0
+                for index in range(pair_start[pair], pair_start[pair + 1]):
+                    s = pair_source[index]
+                    if popularity:
+                        clamped = accuracy[s]
+                        if clamped < min_accuracy:
+                            clamped = min_accuracy
+                        elif clamped > max_accuracy:
+                            clamped = max_accuracy
+                        contribution = log(
+                            effective_n * clamped / (1.0 - clamped)
+                        )
+                    else:
+                        contribution = term[s]
+                    if uniform_weights:
+                        vote += contribution
+                    else:
+                        vote += weight[s] * contribution
+                if popularity:
+                    share = (
+                        pair_start[pair + 1] - pair_start[pair]
+                    ) / total_claims
+                    vote *= 1.0 - 0.5 * share
+                votes[pair] = vote
+                if top is None or vote > top:
+                    top = vote
+            total = 0.0
+            for pair in range(begin, end):
+                shifted = exp(votes[pair] - top)
+                votes[pair] = shifted
+                total += shifted
+            for pair in range(begin, end):
+                probabilities[pair] = votes[pair] / total
+
+        sums = [0.0] * n_sources
+        counts = [0] * n_sources
+        for index in range(cc.n_claims):
+            s = claim_source[index]
+            sums[s] += probabilities[claim_pair[index]]
+            counts[s] += 1
+        delta = 0.0
+        for s in range(n_sources):
+            estimate = sums[s] / counts[s]
+            if estimate < min_accuracy:
+                estimate = min_accuracy
+            elif estimate > max_accuracy:
+                estimate = max_accuracy
+            difference = abs(estimate - accuracy[s])
+            if difference > delta:
+                delta = difference
+            accuracy[s] = estimate
+        if delta < tolerance:
+            converged_at = iterations
+            break
+
+    result = FusionResult(name)
+    result.iterations = iterations
+    result.converged_at = converged_at
+    result.source_quality = cc.decode_quality(accuracy)
+    result.belief = cc.decode_beliefs(probabilities)
+    _single_truths(cc, probabilities, result)
+    return result
+
+
+def _single_truths(cc: CompiledClaims, scores, result: FusionResult) -> None:
+    """Per item, pick the best-scoring value (ties break on the key)."""
+    pair_value = cc.pair_value
+    for item in range(cc.n_items):
+        best_pair = cc.item_pair_start[item]
+        best = (-scores[best_pair], pair_value[best_pair])
+        for pair in range(best_pair + 1, cc.item_pair_start[item + 1]):
+            key = (-scores[pair], pair_value[pair])
+            if key < best:
+                best = key
+        result.truths[cc.items[item]] = {best[1]}
+
+
+# ----------------------------------------------------------------------
+# Multi-truth
+
+
+def multitruth_fuse(
+    compiled: CompiledClaims,
+    *,
+    prior: float = 0.3,
+    threshold: float = 0.5,
+    initial_sensitivity: float = 0.7,
+    initial_specificity: float = 0.9,
+    source_weights: dict[str, float] | None = None,
+    use_confidence: bool = False,
+    max_iterations: int = 20,
+    tolerance: float = 1e-4,
+    floor: float = 0.02,
+    name: str = "multitruth",
+) -> FusionResult:
+    """Two-sided multi-truth fusion over compiled arrays."""
+    cc = compiled
+    source_weights = source_weights or {}
+    n_sources = cc.n_sources
+    weight = [source_weights.get(source, 1.0) for source in cc.sources]
+    sensitivity = [initial_sensitivity] * n_sources
+    specificity = [initial_specificity] * n_sources
+    ceiling = 1.0 - floor
+
+    n_pairs = cc.n_pairs
+    posterior = array("d", bytes(8 * n_pairs))
+    log_claim = [0.0] * n_sources
+    log_silent = [0.0] * n_sources
+    item_pair_start = cc.item_pair_start
+    item_source_start = cc.item_source_start
+    item_sources = cc.item_sources
+    pair_claimers = cc.pair_claimers
+    prior_logodds = log(prior / (1.0 - prior))
+    smoothing = 2.0
+
+    iterations = 0
+    converged_at: int | None = None
+    for iterations in range(1, max_iterations + 1):
+        # Per-source log-likelihood ratios for this round (the legacy
+        # loop recomputes these logs per (value, source) visit).
+        for s in range(n_sources):
+            sens = sensitivity[s]
+            if sens < floor:
+                sens = floor
+            elif sens > ceiling:
+                sens = ceiling
+            spec = specificity[s]
+            if spec < floor:
+                spec = floor
+            elif spec > ceiling:
+                spec = ceiling
+            log_claim[s] = log(sens / (1.0 - spec))
+            log_silent[s] = log((1.0 - sens) / spec)
+
+        for item in range(cc.n_items):
+            cover_begin = item_source_start[item]
+            cover_end = item_source_start[item + 1]
+            for pair in range(item_pair_start[item], item_pair_start[item + 1]):
+                claimers = pair_claimers[pair]
+                logodds = prior_logodds
+                for index in range(cover_begin, cover_end):
+                    s = item_sources[index]
+                    if s in claimers:
+                        confidence = claimers[s] if use_confidence else 1.0
+                        logodds += weight[s] * confidence * log_claim[s]
+                    else:
+                        logodds += weight[s] * log_silent[s]
+                posterior[pair] = 1.0 / (1.0 + exp(-logodds))
+
+        claimed_true = [0.0] * n_sources
+        covered_true = [0.0] * n_sources
+        silent_false = [0.0] * n_sources
+        covered_false = [0.0] * n_sources
+        for item in range(cc.n_items):
+            cover_begin = item_source_start[item]
+            cover_end = item_source_start[item + 1]
+            begin = item_pair_start[item]
+            end = item_pair_start[item + 1]
+            contested = end - begin >= 2
+            for pair in range(begin, end):
+                probability = posterior[pair]
+                complement = 1.0 - probability
+                claimers = pair_claimers[pair]
+                for index in range(cover_begin, cover_end):
+                    s = item_sources[index]
+                    covered_true[s] += probability
+                    if contested:
+                        covered_false[s] += complement
+                    if s in claimers:
+                        claimed_true[s] += probability
+                    elif contested:
+                        silent_false[s] += complement
+
+        delta = 0.0
+        for s in range(n_sources):
+            sens = (claimed_true[s] + smoothing * initial_sensitivity) / (
+                covered_true[s] + smoothing
+            )
+            if sens < floor:
+                sens = floor
+            elif sens > ceiling:
+                sens = ceiling
+            spec = (silent_false[s] + smoothing * initial_specificity) / (
+                covered_false[s] + smoothing
+            )
+            if spec < floor:
+                spec = floor
+            elif spec > ceiling:
+                spec = ceiling
+            difference = abs(sens - sensitivity[s])
+            if difference > delta:
+                delta = difference
+            difference = abs(spec - specificity[s])
+            if difference > delta:
+                delta = difference
+            sensitivity[s] = sens
+            specificity[s] = spec
+        if delta < tolerance:
+            converged_at = iterations
+            break
+
+    result = FusionResult(name)
+    result.iterations = iterations
+    result.converged_at = converged_at
+    result.belief = cc.decode_beliefs(posterior)
+    result.source_quality = {
+        source: (sensitivity[s] + specificity[s]) / 2.0
+        for s, source in enumerate(cc.sources)
+    }
+    pair_value = cc.pair_value
+    for item in range(cc.n_items):
+        begin = item_pair_start[item]
+        end = item_pair_start[item + 1]
+        decided = {
+            pair_value[pair]
+            for pair in range(begin, end)
+            if posterior[pair] >= threshold
+        }
+        if not decided:
+            best = (-posterior[begin], pair_value[begin])
+            for pair in range(begin + 1, end):
+                key = (-posterior[pair], pair_value[pair])
+                if key < best:
+                    best = key
+            decided = {best[1]}
+        result.truths[cc.items[item]] = decided
+    return result
+
+
+# ----------------------------------------------------------------------
+# Confidence-weighted fact-finders
+
+
+def gensums_fuse(
+    compiled: CompiledClaims,
+    *,
+    max_iterations: int = 20,
+    tolerance: float = 1e-6,
+    use_confidence: bool = True,
+    name: str = "gensums",
+) -> FusionResult:
+    """Generalized Sums (Hubs & Authorities) over compiled arrays."""
+    cc = compiled
+    n_sources = cc.n_sources
+    trust = [1.0] * n_sources
+    n_pairs = cc.n_pairs
+    belief = array("d", bytes(8 * n_pairs))
+    pair_start = cc.pair_claim_start
+    pair_source = cc.pair_claim_source
+    pair_conf = cc.pair_claim_conf
+    claim_source = cc.claim_source
+    claim_pair = cc.claim_pair
+    claim_conf = cc.claim_conf
+    item_pair_start = cc.item_pair_start
+
+    iterations = 0
+    converged_at: int | None = None
+    for iterations in range(1, max_iterations + 1):
+        for item in range(cc.n_items):
+            begin = item_pair_start[item]
+            end = item_pair_start[item + 1]
+            top = 0.0
+            for pair in range(begin, end):
+                score = 0
+                for index in range(pair_start[pair], pair_start[pair + 1]):
+                    if use_confidence:
+                        score = score + trust[pair_source[index]] * pair_conf[index]
+                    else:
+                        score = score + trust[pair_source[index]]
+                belief[pair] = score
+                if score > top:
+                    top = score
+            if top <= 0.0:
+                for pair in range(begin, end):
+                    belief[pair] = 0.0
+            else:
+                for pair in range(begin, end):
+                    belief[pair] = belief[pair] / top
+
+        new_trust = [0.0] * n_sources
+        for index in range(cc.n_claims):
+            s = claim_source[index]
+            if use_confidence:
+                new_trust[s] += claim_conf[index] * belief[claim_pair[index]]
+            else:
+                new_trust[s] += belief[claim_pair[index]]
+        top = max(new_trust) or 1.0
+        delta = 0.0
+        for s in range(n_sources):
+            scaled = new_trust[s] / top
+            difference = abs(scaled - trust[s])
+            if difference > delta:
+                delta = difference
+            trust[s] = scaled
+        if delta < tolerance:
+            converged_at = iterations
+            break
+
+    result = FusionResult(name)
+    result.iterations = iterations
+    result.converged_at = converged_at
+    result.belief = cc.decode_beliefs(belief)
+    result.source_quality = cc.decode_quality(trust)
+    _single_truths(cc, belief, result)
+    return result
+
+
+def investment_fuse(
+    compiled: CompiledClaims,
+    *,
+    growth: float = 1.2,
+    max_iterations: int = 20,
+    tolerance: float = 1e-6,
+    use_confidence: bool = True,
+    name: str = "investment",
+) -> FusionResult:
+    """Investment fact-finder over compiled arrays.
+
+    The per-claim investment shares and the (source, pair) stake slots
+    are structural — they never change across rounds — so they are
+    compiled once; each round is then two passes over flat arrays.
+    """
+    cc = compiled
+    n_sources = cc.n_sources
+    n_claims = cc.n_claims
+    claim_source = cc.claim_source
+    claim_pair = cc.claim_pair
+    claim_conf = cc.claim_conf
+
+    totals = [0.0] * n_sources
+    for index in range(n_claims):
+        totals[claim_source[index]] += (
+            claim_conf[index] if use_confidence else 1.0
+        )
+    claim_share = array("d", bytes(8 * n_claims))
+    # Stake slots in first-occurrence order over the global claim
+    # order — the exact insertion order of the legacy ``stake`` dict.
+    slot_of: dict[tuple[int, int], int] = {}
+    claim_slot = [0] * n_claims
+    slot_source: list[int] = []
+    slot_pair: list[int] = []
+    for index in range(n_claims):
+        weight = claim_conf[index] if use_confidence else 1.0
+        claim_share[index] = weight / totals[claim_source[index]]
+        key = (claim_source[index], claim_pair[index])
+        slot = slot_of.get(key)
+        if slot is None:
+            slot = len(slot_of)
+            slot_of[key] = slot
+            slot_source.append(key[0])
+            slot_pair.append(key[1])
+        claim_slot[index] = slot
+    n_slots = len(slot_of)
+
+    trust = [1.0] * n_sources
+    n_pairs = cc.n_pairs
+    invested = array("d", bytes(8 * n_pairs))
+    belief = array("d", bytes(8 * n_pairs))
+    stake = array("d", bytes(8 * n_slots))
+    item_pair_start = cc.item_pair_start
+
+    iterations = 0
+    converged_at: int | None = None
+    for iterations in range(1, max_iterations + 1):
+        for pair in range(n_pairs):
+            invested[pair] = 0.0
+        for slot in range(n_slots):
+            stake[slot] = 0.0
+        for index in range(n_claims):
+            credit = trust[claim_source[index]] * claim_share[index]
+            invested[claim_pair[index]] += credit
+            stake[claim_slot[index]] += credit
+        for pair in range(n_pairs):
+            belief[pair] = invested[pair] ** growth
+        for item in range(cc.n_items):
+            begin = item_pair_start[item]
+            end = item_pair_start[item + 1]
+            top = belief[begin]
+            for pair in range(begin + 1, end):
+                if belief[pair] > top:
+                    top = belief[pair]
+            if top <= 0.0:
+                for pair in range(begin, end):
+                    belief[pair] = 0.0
+            else:
+                for pair in range(begin, end):
+                    belief[pair] = belief[pair] / top
+
+        new_trust = [0.0] * n_sources
+        for slot in range(n_slots):
+            pair = slot_pair[slot]
+            if invested[pair] > 0:
+                new_trust[slot_source[slot]] += (
+                    belief[pair] * stake[slot] / invested[pair]
+                )
+        top = max(new_trust) or 1.0
+        delta = 0.0
+        for s in range(n_sources):
+            scaled = new_trust[s] / top
+            difference = abs(scaled - trust[s])
+            if difference > delta:
+                delta = difference
+            trust[s] = scaled
+        if delta < tolerance:
+            converged_at = iterations
+            break
+
+    result = FusionResult(name)
+    result.iterations = iterations
+    result.converged_at = converged_at
+    result.belief = cc.decode_beliefs(belief)
+    result.source_quality = cc.decode_quality(trust)
+    _single_truths(cc, belief, result)
+    return result

@@ -39,16 +39,29 @@ class GeneralizedSums(FusionMethod):
         max_iterations: int = 20,
         tolerance: float = 1e-6,
         use_confidence: bool = True,
+        compiled: bool = True,
     ) -> None:
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.use_confidence = use_confidence
+        self.compiled = compiled
 
     def fuse(self, claims: ClaimSet) -> FusionResult:
         self._check_nonempty(claims)
+        if self.compiled:
+            from repro.fusion.compiled import compile_claims, gensums_fuse
+
+            return gensums_fuse(
+                compile_claims(claims),
+                max_iterations=self.max_iterations,
+                tolerance=self.tolerance,
+                use_confidence=self.use_confidence,
+                name=self.name,
+            )
         trust = {source: 1.0 for source in claims.sources()}
         belief: dict[tuple[Item, str], float] = {}
         iterations = 0
+        converged_at = None
         for iterations in range(1, self.max_iterations + 1):
             belief = {}
             for item in claims.items():
@@ -78,10 +91,12 @@ class GeneralizedSums(FusionMethod):
             )
             trust = new_trust
             if delta < self.tolerance:
+                converged_at = iterations
                 break
 
         result = FusionResult(self.name)
         result.iterations = iterations
+        result.converged_at = converged_at
         result.belief = belief
         result.source_quality = trust
         for item in claims.items():
@@ -105,6 +120,7 @@ class Investment(FusionMethod):
         max_iterations: int = 20,
         tolerance: float = 1e-6,
         use_confidence: bool = True,
+        compiled: bool = True,
     ) -> None:
         if growth <= 0:
             raise FusionError("growth must be positive")
@@ -112,9 +128,21 @@ class Investment(FusionMethod):
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.use_confidence = use_confidence
+        self.compiled = compiled
 
     def fuse(self, claims: ClaimSet) -> FusionResult:
         self._check_nonempty(claims)
+        if self.compiled:
+            from repro.fusion.compiled import compile_claims, investment_fuse
+
+            return investment_fuse(
+                compile_claims(claims),
+                growth=self.growth,
+                max_iterations=self.max_iterations,
+                tolerance=self.tolerance,
+                use_confidence=self.use_confidence,
+                name=self.name,
+            )
         trust = {source: 1.0 for source in claims.sources()}
         # Per-source total claim weight (for proportional investment).
         totals: dict[str, float] = {}
@@ -124,6 +152,7 @@ class Investment(FusionMethod):
 
         belief: dict[tuple[Item, str], float] = {}
         iterations = 0
+        converged_at = None
         for iterations in range(1, self.max_iterations + 1):
             invested: dict[tuple[Item, str], float] = {}
             stake: dict[tuple[str, tuple[Item, str]], float] = {}
@@ -158,10 +187,12 @@ class Investment(FusionMethod):
             )
             trust = new_trust
             if delta < self.tolerance:
+                converged_at = iterations
                 break
 
         result = FusionResult(self.name)
         result.iterations = iterations
+        result.converged_at = converged_at
         result.belief = belief
         result.source_quality = trust
         for item in claims.items():

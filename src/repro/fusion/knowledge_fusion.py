@@ -39,6 +39,15 @@ class KnowledgeFusion(FusionMethod):
         Toggle the copy-detection discounts (ablation switches).
     use_confidence:
         Toggle soft-evidence claims (ablation switch).
+    parallelism / fusion_executor:
+        With ``parallelism >= 2`` the core fuse runs sharded over the
+        connected components of the claim graph
+        (:mod:`repro.fusion.sharding`) on ``parallelism`` workers of
+        the given mapreduce executor (``"serial"`` or ``"process"``).
+        Correlation estimation stays global (copy detection must see
+        all claims); only the fixed-point fuse shards.  The last run's
+        :class:`~repro.fusion.sharding.ShardStats` is kept in
+        ``last_shard_stats`` (None on serial runs).
     """
 
     name = "knowledge-fusion"
@@ -54,6 +63,8 @@ class KnowledgeFusion(FusionMethod):
         prior: float = 0.3,
         threshold: float = 0.5,
         max_iterations: int = 20,
+        parallelism: int = 1,
+        fusion_executor: str = "serial",
     ) -> None:
         self.hierarchy = hierarchy
         self.functional_of = functional_of
@@ -63,6 +74,9 @@ class KnowledgeFusion(FusionMethod):
         self.prior = prior
         self.threshold = threshold
         self.max_iterations = max_iterations
+        self.parallelism = parallelism
+        self.fusion_executor = fusion_executor
+        self.last_shard_stats = None
         self._casefold_hierarchy = (
             CasefoldHierarchy(hierarchy) if hierarchy is not None else None
         )
@@ -89,7 +103,18 @@ class KnowledgeFusion(FusionMethod):
         )
         if self.hierarchy is not None:
             base = HierarchicalFusion(base, self.hierarchy)
-        result = base.fuse(working)
+        if self.parallelism > 1:
+            from repro.fusion.sharding import fuse_sharded
+
+            result, self.last_shard_stats = fuse_sharded(
+                base,
+                working,
+                workers=self.parallelism,
+                executor=self.fusion_executor,
+            )
+        else:
+            self.last_shard_stats = None
+            result = base.fuse(working)
         result.method = self.name
         if self.functional_of is not None:
             self._constrain_functional(working, result)

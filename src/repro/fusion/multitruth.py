@@ -53,6 +53,7 @@ class MultiTruth(FusionMethod):
         max_iterations: int = 20,
         tolerance: float = 1e-4,
         floor: float = 0.02,
+        compiled: bool = True,
     ) -> None:
         if not 0 < prior < 1:
             raise FusionError("prior must lie in (0, 1)")
@@ -67,10 +68,27 @@ class MultiTruth(FusionMethod):
         self.max_iterations = max_iterations
         self.tolerance = tolerance
         self.floor = floor
+        self.compiled = compiled
 
     # ------------------------------------------------------------------
     def fuse(self, claims: ClaimSet) -> FusionResult:
         self._check_nonempty(claims)
+        if self.compiled:
+            from repro.fusion.compiled import compile_claims, multitruth_fuse
+
+            return multitruth_fuse(
+                compile_claims(claims),
+                prior=self.prior,
+                threshold=self.threshold,
+                initial_sensitivity=self.initial_sensitivity,
+                initial_specificity=self.initial_specificity,
+                source_weights=self.source_weights,
+                use_confidence=self.use_confidence,
+                max_iterations=self.max_iterations,
+                tolerance=self.tolerance,
+                floor=self.floor,
+                name=self.name,
+            )
         sensitivity = {
             source: self.initial_sensitivity for source in claims.sources()
         }
@@ -79,6 +97,7 @@ class MultiTruth(FusionMethod):
         }
         posterior: dict[tuple[Item, str], float] = {}
         iterations = 0
+        converged_at = None
         for iterations in range(1, self.max_iterations + 1):
             posterior = self._posteriors(claims, sensitivity, specificity)
             new_sensitivity, new_specificity = self._estimate_quality(
@@ -96,10 +115,12 @@ class MultiTruth(FusionMethod):
             )
             sensitivity, specificity = new_sensitivity, new_specificity
             if delta < self.tolerance:
+                converged_at = iterations
                 break
 
         result = FusionResult(self.name)
         result.iterations = iterations
+        result.converged_at = converged_at
         result.belief = posterior
         result.source_quality = {
             source: (sensitivity[source] + specificity[source]) / 2.0

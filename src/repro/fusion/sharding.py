@@ -1,0 +1,173 @@
+"""Connected-component sharding of the claim bipartite graph.
+
+Fusion couples an item to its sources and a source to its items —
+nothing else.  Two claims therefore interact only when their items and
+sources are linked in the bipartite item↔source graph, so each
+connected *component* of that graph is an independent fusion problem:
+fusing components separately and merging the results is exactly
+equivalent to one global run (per-source and per-item statistics never
+cross a component boundary, and the float operation order inside one
+component is unchanged, so the merged output is byte-identical).
+
+:func:`fuse_sharded` runs the components as reduce groups of the
+:mod:`repro.mapreduce` engine, which provides the ``"process"``
+executor (real parallelism for CPU-bound fusion) and its determinism
+contract (reduce groups processed in sorted key order, results merged
+deterministically).  The fusion method rides to the workers inside the
+pickled reducer, like the accuracy snapshot in ``mr_accu``.
+
+Caveat: a component that satisfies its convergence tolerance early
+exits on its *own* delta, while a global run exits on the maximum
+delta across all components — identical truths in practice, but extra
+rounds elsewhere can move beliefs by up to the tolerance.  Run with
+``tolerance=0`` (fixed iterations) for bit-identical merged output;
+the equivalence tests pin both regimes.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+from repro.errors import FusionError
+from repro.fusion.base import Claim, ClaimSet, FusionMethod, FusionResult
+from repro.mapreduce.engine import EXECUTORS, MapReduceJob
+
+__all__ = ["ShardStats", "shard_claims", "fuse_sharded"]
+
+
+@dataclass(slots=True)
+class ShardStats:
+    """Per-component accounting of one sharded fusion run."""
+
+    components: int = 0
+    workers: int = 1
+    executor: str = "serial"
+    component_claims: list[int] = field(default_factory=list)
+    component_items: list[int] = field(default_factory=list)
+
+    @property
+    def largest_claims(self) -> int:
+        return max(self.component_claims, default=0)
+
+    @property
+    def largest_items(self) -> int:
+        return max(self.component_items, default=0)
+
+
+def _component_map(claims: ClaimSet) -> dict[str, int]:
+    """Source id → component id via union-find over the claim graph.
+
+    Component ids are densely numbered in order of first appearance in
+    the claim set's iteration order, so the sharding is deterministic.
+    """
+    parent: dict[object, object] = {}
+
+    def find(node):
+        root = node
+        while parent[root] is not root:
+            root = parent[root]
+        while parent[node] is not root:  # path compression
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(left, right):
+        for node in (left, right):
+            if node not in parent:
+                parent[node] = node
+        left_root, right_root = find(left), find(right)
+        if left_root is not right_root:
+            parent[right_root] = left_root
+
+    for claim in claims:
+        union(("item", claim.item), ("source", claim.source_id))
+
+    component_of_root: dict[object, int] = {}
+    mapping: dict[str, int] = {}
+    for claim in claims:
+        source = claim.source_id
+        if source not in mapping:
+            root = find(("source", source))
+            mapping[source] = component_of_root.setdefault(
+                root, len(component_of_root)
+            )
+    return mapping
+
+
+def shard_claims(claims: ClaimSet) -> list[ClaimSet]:
+    """Split a claim set into its connected components.
+
+    Claims keep their relative order inside each shard, so fusing a
+    shard replays the exact float operation order of the global run
+    restricted to that component.
+    """
+    mapping = _component_map(claims)
+    shards: dict[int, ClaimSet] = {}
+    for claim in claims:
+        shards.setdefault(mapping[claim.source_id], ClaimSet()).add(claim)
+    return [shards[component] for component in sorted(shards)]
+
+
+def _shard_mapper(mapping: dict[str, int], claim: Claim):
+    yield mapping[claim.source_id], claim
+
+
+def _shard_reducer(method: FusionMethod, component: int, claims: list[Claim]):
+    yield component, len(claims), method.fuse(ClaimSet(claims))
+
+
+def fuse_sharded(
+    method: FusionMethod,
+    claims: ClaimSet,
+    *,
+    workers: int = 1,
+    executor: str = "serial",
+    partitions: int | None = None,
+) -> tuple[FusionResult, ShardStats]:
+    """Fuse each connected component independently and merge.
+
+    Components are the reduce groups of one MapReduce job; with
+    ``executor="process"`` they run on worker processes (the method
+    must be picklable — every built-in fusion method is).  Merged
+    truths/beliefs/source qualities are the disjoint union of the
+    component results; ``iterations`` and ``converged_at`` report the
+    slowest component (``converged_at`` is None if any component hit
+    its iteration cap).
+    """
+    if executor not in EXECUTORS:
+        raise FusionError(
+            f"fusion executor must be one of {EXECUTORS}, got {executor!r}"
+        )
+    if workers < 1:
+        raise FusionError("workers must be >= 1")
+    if len(claims) == 0:
+        raise FusionError(f"{method.name}: empty claim set")
+
+    mapping = _component_map(claims)
+    # One map partition: the engine splits partitions round-robin, and
+    # more than one would interleave claim order inside each reduce
+    # group, shifting float accumulation order at ULP level.  The map
+    # side is a trivial tagging pass; all the work is in the reduce
+    # groups, which parallelize by component regardless.
+    job: MapReduceJob = MapReduceJob(
+        functools.partial(_shard_mapper, mapping),
+        functools.partial(_shard_reducer, method),
+        partitions=partitions or 1,
+        executor=executor,
+        max_workers=workers,
+    )
+    merged = FusionResult(method.name)
+    stats = ShardStats(workers=workers, executor=executor)
+    converged: list[int | None] = []
+    for _component, n_claims, result in job.run(claims):
+        stats.components += 1
+        stats.component_claims.append(n_claims)
+        stats.component_items.append(len(result.truths))
+        merged.truths.update(result.truths)
+        merged.belief.update(result.belief)
+        merged.source_quality.update(result.source_quality)
+        merged.iterations = max(merged.iterations, result.iterations)
+        converged.append(result.converged_at)
+    if converged and all(round_ is not None for round_ in converged):
+        merged.converged_at = max(converged)  # type: ignore[type-var]
+    return merged, stats

@@ -123,3 +123,129 @@ class TestBuildValueProfiles:
             [claim("b1", "author", "Jane"), claim("b2", "author", "JANE")]
         )
         assert profiles["author"] == {("b1", "jane"), ("b2", "jane")}
+
+
+class TestBlockingEquivalence:
+    """The inverted-index blocking must not change any verdict.
+
+    A brute-force reference replays the original O(n^2) resolver —
+    every variant checked against every already-accepted canonical in
+    support order — and the blocked resolver must produce the exact
+    same canonical map and sub-attribute table on a generated world of
+    typos, permutations, qualifiers and overlapping profiles.
+    """
+
+    @staticmethod
+    def _brute_force(class_name, support, profiles):
+        from repro.entity.resolution import (
+            AttributeResolution,
+            _content_tokens,
+            _specialising_parent,
+            _strip_qualifiers,
+        )
+        from repro.textproc.normalize import is_probable_misspelling
+
+        resolution = AttributeResolution(class_name)
+        names = sorted(support, key=lambda n: (-support[n], n))
+        cache = {name: _content_tokens(name) for name in names}
+        helper = AttributeResolver(class_name, support, profiles)
+        helper._tokens_cache = cache
+        canonical = []
+        for name in names:
+            stripped = _strip_qualifiers(name)
+            tokens = cache[name]
+            profile = profiles.get(name) if profiles else None
+            target = None
+            for cand in canonical:
+                if (
+                    stripped == cand
+                    or (tokens and tokens == cache[cand])
+                    or (
+                        abs(len(name) - len(cand)) <= 2
+                        and is_probable_misspelling(
+                            name, cand, normalized=True
+                        )
+                    )
+                    or (profile and helper._profiles_match(profile, cand))
+                ):
+                    target = cand
+                    break
+            if target is None:
+                parent = _specialising_parent(name)
+                if parent is not None and parent in support:
+                    resolution.sub_attributes[name] = parent
+                canonical.append(name)
+            else:
+                resolution.canonical_map[name] = target
+        return resolution
+
+    @staticmethod
+    def _seeded_world(seed):
+        import random
+
+        rng = random.Random(seed)
+        bases = [
+            "publisher", "publication date", "price", "library",
+            "author name", "genre", "page count", "release year",
+        ]
+        variants = set()
+        for base in bases:
+            variants.add(base)
+            variants.add("official " + base)
+            variants.add(base + " of record")
+            tokens = base.split()
+            if len(tokens) >= 2:
+                variants.add(" ".join(reversed(tokens)))
+                variants.add(tokens[-1] + " of " + " ".join(tokens[:-1]))
+            variants.add("main " + base)
+            drop = rng.randrange(len(base))
+            variants.add(base[:drop] + base[drop + 1:])
+        support = {name: rng.randrange(1, 60) for name in variants}
+        entities = [f"e{i}" for i in range(30)]
+        profiles = {}
+        for base in bases:
+            pairs = {
+                (rng.choice(entities), f"v{rng.randrange(40)}")
+                for _ in range(12)
+            }
+            for name in variants:
+                if base in name or name in base:
+                    kept = {p for p in pairs if rng.random() < 0.8}
+                    profiles.setdefault(name, set()).update(kept)
+        return support, profiles
+
+    def test_matches_brute_force_on_seeded_world(self):
+        support, profiles = self._seeded_world(13)
+        reference = self._brute_force("Book", support, profiles)
+        blocked = AttributeResolver("Book", support, profiles).run()
+        assert blocked.canonical_map == reference.canonical_map
+        assert blocked.sub_attributes == reference.sub_attributes
+        assert blocked.canonical_map  # the world does exercise merges
+
+    def test_matches_brute_force_on_random_names(self):
+        import random
+
+        for seed in range(4):
+            rng = random.Random(seed)
+            words = ["pub", "date", "price", "lib", "name", "of", "main"]
+            names = set()
+            while len(names) < 60:
+                names.add(
+                    " ".join(
+                        rng.choice(words)
+                        for _ in range(rng.randrange(1, 4))
+                    )
+                )
+            support = {name: rng.randrange(1, 40) for name in names}
+            profiles = {
+                name: {
+                    (f"e{rng.randrange(10)}", f"v{rng.randrange(15)}")
+                    for _ in range(rng.randrange(1, 8))
+                }
+                for name in names
+                if rng.random() < 0.7
+            }
+            reference = self._brute_force("C", support, profiles)
+            blocked = AttributeResolver("C", support, profiles).run()
+            assert blocked.canonical_map == reference.canonical_map, seed
+            assert blocked.sub_attributes == reference.sub_attributes, seed

@@ -77,6 +77,39 @@ class TestClaimSet:
         claims.add(claim(("s", "q"), "v1", "a"))
         assert set(claims.items()) == {("s", "p"), ("s", "q")}
 
+    def test_add_after_read_marks_index_stale(self):
+        claims = ClaimSet([claim(("s", "p"), "v1", "a")])
+        # Force an index build, then mutate: every read API must see
+        # the new claim, not the cached index.
+        assert claims.values_of(("s", "p")).keys() == {"v1"}
+        claims.add(claim(("s", "p"), "v2", "b"))
+        assert claims._stale
+        assert claims.values_of(("s", "p")).keys() == {"v1", "v2"}
+        assert claims.sources_claiming(("s", "p")) == {"a", "b"}
+        claims.add(claim(("t", "p"), "v1", "a"))
+        assert claims.items() == [("s", "p"), ("t", "p")]
+
+    def test_stats(self):
+        claims = ClaimSet(
+            [
+                claim(("s", "p"), "v1", "a"),
+                claim(("s", "p"), "v2", "b", extractor="other"),
+                claim(("t", "p"), "v1", "a"),
+            ]
+        )
+        stats = claims.stats()
+        assert stats.n_items == 2
+        assert stats.n_values == 3
+        assert stats.n_sources == 2
+        assert stats.n_extractors == 2
+        assert stats.n_claims == 3
+
+    def test_stats_track_mutation(self):
+        claims = ClaimSet([claim(("s", "p"), "v1", "a")])
+        assert claims.stats().n_items == 1
+        claims.add(claim(("t", "p"), "v1", "a"))
+        assert claims.stats().n_items == 2
+
     def test_from_scored_triples(self):
         scored = ScoredTriple(
             Triple("s", "p", Value("PARIS")),

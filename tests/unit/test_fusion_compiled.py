@@ -1,0 +1,190 @@
+"""Unit tests for the compiled fusion engine.
+
+The contract of :mod:`repro.fusion.compiled` is exact equivalence: the
+flat-array kernels replay the float operation order of the dict-based
+implementations, so decided truths must be identical and beliefs /
+source qualities must agree within 1e-9 (they are bit-equal in
+practice) at the same iteration counts.
+"""
+
+import pytest
+
+from repro.fusion.accu import Accu, PopAccu
+from repro.fusion.base import Claim, ClaimSet, value_key
+from repro.fusion.compiled import compile_claims
+from repro.fusion.confidence_weighted import GeneralizedSums, Investment
+from repro.fusion.multitruth import MultiTruth
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+
+
+def claim(item, value, source, extractor="ex", confidence=1.0):
+    return Claim(item, value_key(value), value, source, extractor, confidence)
+
+
+def small_claims():
+    return ClaimSet(
+        [
+            claim(("s1", "p"), "v1", "a", confidence=0.9),
+            claim(("s1", "p"), "v1", "b", confidence=0.6),
+            claim(("s1", "p"), "v2", "c", confidence=0.8),
+            claim(("s2", "p"), "v1", "a", confidence=0.7),
+            claim(("s2", "p"), "v3", "b", "other", confidence=0.5),
+        ]
+    )
+
+
+class TestCompileClaims:
+    def test_interning_and_shapes(self):
+        claims = small_claims()
+        compiled = compile_claims(claims)
+        assert compiled.n_claims == len(claims) == 5
+        assert compiled.n_items == 2
+        assert compiled.n_pairs == 4
+        assert set(compiled.sources) == {"a", "b", "c"}
+        assert set(compiled.extractors) == {"ex", "other"}
+        assert compiled.items == list(claims.items())
+
+    def test_pairs_follow_values_of_order(self):
+        claims = small_claims()
+        compiled = compile_claims(claims)
+        expected = [
+            (item, value)
+            for item in claims.items()
+            for value in claims.values_of(item)
+        ]
+        assert [
+            compiled.pair_key(p) for p in range(compiled.n_pairs)
+        ] == expected
+
+    def test_pair_claims_csr(self):
+        claims = small_claims()
+        compiled = compile_claims(claims)
+        claim_list = list(claims)
+        for pair in range(compiled.n_pairs):
+            item, value = compiled.pair_key(pair)
+            start = compiled.pair_claim_start[pair]
+            stop = compiled.pair_claim_start[pair + 1]
+            got = [claim_list[c] for c in compiled.pair_claim_ids[start:stop]]
+            assert got == claims.values_of(item)[value]
+
+    def test_source_claims_csr(self):
+        claims = small_claims()
+        compiled = compile_claims(claims)
+        claim_list = list(claims)
+        for s, name in enumerate(compiled.sources):
+            start = compiled.source_claim_start[s]
+            stop = compiled.source_claim_start[s + 1]
+            got = [claim_list[c] for c in compiled.source_claim_ids[start:stop]]
+            assert got == [c for c in claim_list if c.source_id == name]
+
+    def test_item_sources_cover_claimants(self):
+        claims = small_claims()
+        compiled = compile_claims(claims)
+        for i, item in enumerate(compiled.items):
+            start = compiled.item_source_start[i]
+            stop = compiled.item_source_start[i + 1]
+            names = {
+                compiled.sources[s]
+                for s in compiled.item_sources[start:stop]
+            }
+            assert names == claims.sources_claiming(item)
+
+    def test_pair_claimers_keep_max_confidence(self):
+        claims = small_claims()
+        compiled = compile_claims(claims)
+        pair = [
+            p for p in range(compiled.n_pairs)
+            if compiled.pair_key(p) == (("s1", "p"), "v1")
+        ][0]
+        by_name = {
+            compiled.sources[s]: conf
+            for s, conf in compiled.pair_claimers[pair].items()
+        }
+        assert by_name == {"a": 0.9, "b": 0.6}
+
+    def test_decode_beliefs_roundtrip(self):
+        compiled = compile_claims(small_claims())
+        scores = [float(p) for p in range(compiled.n_pairs)]
+        decoded = compiled.decode_beliefs(scores)
+        assert decoded[compiled.pair_key(2)] == 2.0
+        assert len(decoded) == compiled.n_pairs
+
+
+WORLDS = {
+    "plain": ClaimWorldConfig(seed=5, n_items=80, n_sources=8),
+    "multi-truth": ClaimWorldConfig(
+        seed=6, n_items=60, n_sources=9, truths_per_item=2,
+        source_accuracies=[0.85] * 9,
+    ),
+    "confidence": ClaimWorldConfig(
+        seed=7, n_items=60, n_sources=8, confidence_informative=True,
+    ),
+    "copiers": ClaimWorldConfig(
+        seed=8, n_items=60, n_sources=8, copier_cliques=2,
+    ),
+}
+
+METHODS = {
+    "accu": lambda compiled: Accu(compiled=compiled),
+    "accu-tol0": lambda compiled: Accu(tolerance=0.0, compiled=compiled),
+    "popaccu": lambda compiled: PopAccu(compiled=compiled),
+    "multitruth": lambda compiled: MultiTruth(compiled=compiled),
+    "multitruth-conf": lambda compiled: MultiTruth(
+        use_confidence=True, compiled=compiled
+    ),
+    "gensums": lambda compiled: GeneralizedSums(compiled=compiled),
+    "investment": lambda compiled: Investment(compiled=compiled),
+}
+
+
+class TestCompiledEquivalence:
+    @pytest.mark.parametrize("world_name", sorted(WORLDS))
+    @pytest.mark.parametrize("method_name", sorted(METHODS))
+    def test_matches_legacy(self, world_name, method_name):
+        claims = generate_claim_world(WORLDS[world_name]).claims
+        make = METHODS[method_name]
+        legacy = make(False).fuse(claims)
+        compiled = make(True).fuse(claims)
+        assert compiled.truths == legacy.truths
+        assert compiled.iterations == legacy.iterations
+        assert compiled.converged_at == legacy.converged_at
+        assert compiled.belief.keys() == legacy.belief.keys()
+        for key, score in legacy.belief.items():
+            assert compiled.belief[key] == pytest.approx(score, abs=1e-9)
+        assert (
+            compiled.source_quality.keys() == legacy.source_quality.keys()
+        )
+        for source, quality in legacy.source_quality.items():
+            assert compiled.source_quality[source] == pytest.approx(
+                quality, abs=1e-9
+            )
+
+    def test_source_weights_respected(self):
+        claims = generate_claim_world(WORLDS["copiers"]).claims
+        weights = {
+            source: 0.5 + 0.02 * i
+            for i, source in enumerate(sorted(claims.sources()))
+        }
+        legacy = MultiTruth(source_weights=weights, compiled=False).fuse(
+            claims
+        )
+        compiled = MultiTruth(source_weights=weights, compiled=True).fuse(
+            claims
+        )
+        assert compiled.truths == legacy.truths
+        for key, score in legacy.belief.items():
+            assert compiled.belief[key] == pytest.approx(score, abs=1e-9)
+
+    def test_initial_accuracies_respected(self):
+        claims = generate_claim_world(WORLDS["plain"]).claims
+        initial = {
+            source: 0.6 + 0.03 * i
+            for i, source in enumerate(sorted(claims.sources()))
+        }
+        legacy = Accu(initial_accuracies=initial, compiled=False).fuse(claims)
+        compiled = Accu(initial_accuracies=initial, compiled=True).fuse(
+            claims
+        )
+        assert compiled.truths == legacy.truths
+        for key, score in legacy.belief.items():
+            assert compiled.belief[key] == pytest.approx(score, abs=1e-9)
