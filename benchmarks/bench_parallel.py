@@ -34,6 +34,7 @@ from repro.core.pipeline import (
     PipelineConfig,
 )
 from repro.evalx.tables import format_ratio, render_table
+from repro.mapreduce.engine import RetryPolicy
 from repro.mapreduce.jobs import mr_accu, mr_vote
 from repro.synth.claims import ClaimWorldConfig, generate_claim_world
 from repro.synth.querylog import QueryLogConfig
@@ -169,6 +170,75 @@ def mapreduce_table(section: dict) -> str:
          "speedup", "identical"],
         rows,
         title="MapReduce: serial vs process executor",
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 1b: retry-path overhead (guarded dispatch, zero faults).
+
+
+def run_retry_section(quick: bool) -> dict:
+    """Cost of the fault-tolerance layer when nothing fails.
+
+    The guarded dispatch path (attempt bookkeeping, per-task duration
+    measurement, wave loop) engages whenever a retry policy is set —
+    this section runs the same jobs with retries disabled vs enabled
+    and zero injected faults, so the delta is pure retry-path overhead.
+    The ratio is reported, not asserted: it is noise-dominated on tiny
+    workloads and that is fine — the contract is identical output.
+    """
+    n_items = 200 if quick else 800
+    rounds = 3 if quick else 5
+    world = generate_claim_world(
+        ClaimWorldConfig(seed=47, n_items=n_items, n_sources=10)
+    )
+    policy = RetryPolicy(max_attempts=3, backoff_base=0.0)
+    records = []
+    for job_name, job in (
+        ("VOTE", lambda claims, **kw: mr_vote(claims, **kw)),
+        ("ACCU", lambda claims, **kw: mr_accu(claims, rounds=rounds, **kw)),
+    ):
+        started = time.perf_counter()
+        plain = job(world.claims, partitions=4)
+        plain_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        guarded = job(world.claims, partitions=4, retry=policy)
+        guarded_seconds = time.perf_counter() - started
+
+        records.append(
+            {
+                "job": job_name,
+                "claims": len(world.claims),
+                "plain_seconds": round(plain_seconds, 4),
+                "guarded_seconds": round(guarded_seconds, 4),
+                "overhead_ratio": round(
+                    guarded_seconds / plain_seconds, 3
+                ),
+                "identical": _canonical_fusion_bytes(guarded)
+                == _canonical_fusion_bytes(plain),
+            }
+        )
+    return {"items": n_items, "accu_rounds": rounds, "runs": records}
+
+
+def retry_table(section: dict) -> str:
+    rows = [
+        [
+            record["job"],
+            record["claims"],
+            f"{record['plain_seconds'] * 1000:.1f}ms",
+            f"{record['guarded_seconds'] * 1000:.1f}ms",
+            f"{record['overhead_ratio']:.2f}x",
+            "yes" if record["identical"] else "NO",
+        ]
+        for record in section["runs"]
+    ]
+    return render_table(
+        ["job", "claims", "retries off", "retries on (0 faults)",
+         "overhead", "identical"],
+        rows,
+        title="Retry path: guarded dispatch overhead with zero faults",
     )
 
 
@@ -371,6 +441,7 @@ def cache_table(section: dict) -> str:
 
 def run_all(quick: bool) -> tuple[dict, str]:
     mapreduce = run_mapreduce_section(quick)
+    retry = run_retry_section(quick)
     pipeline = run_pipeline_section(quick)
     cache = run_cache_section(pipeline.pop("serial_pipeline"))
     document = {
@@ -380,12 +451,14 @@ def run_all(quick: bool) -> tuple[dict, str]:
             "python": sys.version.split()[0],
         },
         "mapreduce": mapreduce,
+        "retry_overhead": retry,
         "pipeline": pipeline,
         "similarity_cache": cache,
     }
     tables = "\n\n".join(
         [
             mapreduce_table(mapreduce),
+            retry_table(retry),
             pipeline_table(pipeline),
             cache_table(cache),
         ]
@@ -409,6 +482,9 @@ def test_parallel_report():
 
     for record in document["mapreduce"]["runs"]:
         assert record["identical"]
+    for record in document["retry_overhead"]["runs"]:
+        assert record["identical"]
+        assert record["overhead_ratio"] > 0
     assert document["pipeline"]["equivalent"]
     for record in document["pipeline"]["modes"].values():
         assert record.get("identical_metrics", True)
@@ -436,6 +512,8 @@ def main(argv=None) -> int:
     failures = []
     if not all(r["identical"] for r in document["mapreduce"]["runs"]):
         failures.append("mapreduce outputs diverged")
+    if not all(r["identical"] for r in document["retry_overhead"]["runs"]):
+        failures.append("guarded (retry) outputs diverged")
     if not document["pipeline"]["equivalent"]:
         failures.append("pipeline outputs diverged")
     if not document["similarity_cache"]["identical_output"]:

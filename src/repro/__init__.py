@@ -21,22 +21,38 @@ Quick start::
 from repro.core.pipeline import (
     KnowledgeBaseConstructionPipeline,
     PipelineConfig,
+    PipelineHealth,
     PipelineReport,
 )
+from repro.errors import (
+    QuarantineOverflowError,
+    ReproError,
+    RetryExhaustedError,
+    StageTimeoutError,
+)
+from repro.faults import FaultPlan
 from repro.fusion.knowledge_fusion import KnowledgeFusion
+from repro.mapreduce.engine import RetryPolicy
 from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
 from repro.synth.world import GroundTruthWorld, WorldConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "FaultPlan",
     "GroundTruthWorld",
     "KnowledgeBaseConstructionPipeline",
     "KnowledgeFusion",
     "PipelineConfig",
+    "PipelineHealth",
     "PipelineReport",
     "Provenance",
+    "QuarantineOverflowError",
+    "ReproError",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "ScoredTriple",
+    "StageTimeoutError",
     "Triple",
     "Value",
     "WorldConfig",

@@ -64,6 +64,31 @@ def build_parser() -> argparse.ArgumentParser:
         default="process",
         help="mapreduce executor for sharded fusion",
     )
+    pipeline.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry failed fusion map/reduce tasks up to N extra times "
+        "with exponential backoff (0 keeps single-attempt behaviour)",
+    )
+    pipeline.add_argument(
+        "--stage-timeout", type=float, default=None, metavar="SECONDS",
+        help="deadline per extraction stage; overruns degrade the stage "
+        "instead of aborting the run",
+    )
+    pipeline.add_argument(
+        "--min-sources", type=int, default=1, metavar="N",
+        help="abort unless at least N extractor outputs survive "
+        "extraction (degraded stages are dropped, not fatal)",
+    )
+    pipeline.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="spill extraction/claims stage outputs to DIR so a crashed "
+        "run can resume",
+    )
+    pipeline.add_argument(
+        "--resume", action="store_true",
+        help="restore completed stages from --checkpoint-dir instead of "
+        "recomputing (stale checkpoints are ignored)",
+    )
 
     for name, help_text in (
         ("table1", "statistics of representative KBs"),
@@ -116,9 +141,15 @@ def _run_pipeline(args) -> int:
         KnowledgeBaseConstructionPipeline,
         PipelineConfig,
     )
+    from repro.mapreduce.engine import RetryPolicy
     from repro.synth.querylog import QueryLogConfig
     from repro.synth.world import WorldConfig
 
+    retry = (
+        RetryPolicy(max_attempts=args.retries + 1)
+        if args.retries > 0
+        else None
+    )
     config = PipelineConfig(
         world=WorldConfig(seed=args.seed),
         querylog=QueryLogConfig(scale=args.query_scale),
@@ -127,9 +158,13 @@ def _run_pipeline(args) -> int:
         stage_executor=args.stage_executor,
         fusion_parallelism=args.fusion_parallel,
         fusion_executor=args.fusion_executor,
+        retry=retry,
+        stage_timeout=args.stage_timeout,
+        min_sources=args.min_sources,
+        checkpoint_dir=args.checkpoint_dir,
     )
     pipeline = KnowledgeBaseConstructionPipeline(config)
-    report = pipeline.run()
+    report = pipeline.run(resume=args.resume)
     for timing in report.timings:
         print(f"{timing.stage:<22} {timing.seconds:6.2f}s  {timing.detail}")
     for phase, seconds in report.extraction_wall.items():
@@ -142,17 +177,32 @@ def _run_pipeline(args) -> int:
             f"on {shards['workers']} {shards['executor']} workers, "
             f"largest {shards['largest_claims']} claims"
         )
+    health = report.health
+    if (
+        health.status != "ok"
+        or health.resumed_stages
+        or health.quarantined.get("total")
+        or health.retry
+    ):
+        print(
+            f"health: {health.status}; "
+            f"degraded: {sorted(health.degraded) or 'none'}; "
+            f"quarantined: {health.quarantined.get('total', 0)}; "
+            f"resumed: {health.resumed_stages or 'none'}; "
+            f"retry: {health.retry or 'none'}"
+        )
     fusion = report.fusion_report
     print(
         f"fusion: {fusion.items} items, precision {fusion.precision:.3f}, "
         f"recall {fusion.recall:.3f}, F1 {fusion.f1:.3f}"
     )
     augmentation = report.augmentation
-    print(
-        f"augmentation: +{augmentation.new_facts} facts, "
-        f"+{augmentation.total_new_attributes()} attributes, "
-        f"+{augmentation.new_entities} entities"
-    )
+    if augmentation is not None:
+        print(
+            f"augmentation: +{augmentation.new_facts} facts, "
+            f"+{augmentation.total_new_attributes()} attributes, "
+            f"+{augmentation.new_entities} entities"
+        )
     if args.export:
         from repro.rdf.io import dump_claims_tsv
 

@@ -5,6 +5,11 @@ from repro.core.augmentation import (
     AugmentationReport,
     augment_kb,
 )
+from repro.core.checkpoint import (
+    CHECKPOINT_STAGES,
+    CheckpointStore,
+    config_fingerprint,
+)
 from repro.core.confidence import (
     DEFAULT_EXTRACTOR_PRIORS,
     ConfidenceConfig,
@@ -13,18 +18,26 @@ from repro.core.confidence import (
 from repro.core.pipeline import (
     KnowledgeBaseConstructionPipeline,
     PipelineConfig,
+    PipelineHealth,
     PipelineReport,
     StageTiming,
 )
+from repro.core.quarantine import Quarantine, guard_records
 
 __all__ = [
     "AugmentationReport",
+    "CHECKPOINT_STAGES",
+    "CheckpointStore",
     "ConfidenceConfig",
     "ConfidenceScorer",
     "DEFAULT_EXTRACTOR_PRIORS",
     "KnowledgeBaseConstructionPipeline",
     "PipelineConfig",
+    "PipelineHealth",
     "PipelineReport",
+    "Quarantine",
     "StageTiming",
     "augment_kb",
+    "config_fingerprint",
+    "guard_records",
 ]

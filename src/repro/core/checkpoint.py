@@ -1,0 +1,124 @@
+"""Checkpoint/resume support for the end-to-end pipeline.
+
+A long pipeline run that dies in fusion should not have to redo
+extraction: stage outputs are spilled to a checkpoint directory and
+``KnowledgeBaseConstructionPipeline.run(resume=True)`` restores them
+instead of recomputing.  Two rules keep resume safe:
+
+* **Fingerprinted** — every checkpoint embeds a fingerprint hashed
+  from the *data-determining* config fields (world/generator/extractor
+  configs, seeds, toggles that change what gets extracted).  A
+  checkpoint whose fingerprint does not match the current config is
+  silently treated as absent — stale state is rejected, never merged.
+  Execution knobs (parallelism, executors, retry policy, fault plan,
+  the checkpoint directory itself) are deliberately excluded: they
+  change *how* a run executes, not *what* it computes, so a run
+  interrupted by an injected fault can resume without one.
+* **Atomic** — payloads are pickled to a temp file and ``os.replace``d
+  into place, so a crash mid-write leaves either the old checkpoint or
+  none, never a truncated one (unreadable files are also treated as
+  absent).
+
+Checkpointed stages (in pipeline order):
+
+* ``"extraction"`` — everything stages 1–5 produced: snapshots,
+  extractor outputs, seed sets, Set_E, mention classes, plus the
+  report fragments (timings, health) those stages generated;
+* ``"claims"`` — the scored claim list after entity/attribute
+  resolution and confidence scoring.
+
+Fusion and later stages always rerun: they are comparatively cheap and
+depend on fusion toggles outside the fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+
+__all__ = ["CHECKPOINT_STAGES", "CheckpointStore", "config_fingerprint"]
+
+CHECKPOINT_STAGES = ("extraction", "claims")
+
+# PipelineConfig fields that determine the *data* a run produces.
+_FINGERPRINT_FIELDS = (
+    "world",
+    "kb_pair",
+    "querylog",
+    "querystream",
+    "websites",
+    "webtext",
+    "dom",
+    "webtext_extractor",
+    "confidence",
+    "seed_min_support",
+    "discover_new_entities",
+    "functionality_source",
+    "resolve_attributes",
+)
+
+
+def config_fingerprint(config: object) -> str:
+    """Hash the data-determining fields of a pipeline config.
+
+    Accepts any object exposing the fingerprint fields (dataclass
+    ``repr``s are deterministic for identically-constructed configs),
+    so changing a seed, a generator knob or an extraction toggle yields
+    a different fingerprint and invalidates existing checkpoints.
+    """
+    parts = [
+        f"{name}={getattr(config, name)!r}" for name in _FINGERPRINT_FIELDS
+    ]
+    return hashlib.sha256("\x1e".join(parts).encode()).hexdigest()
+
+
+class CheckpointStore:
+    """Pickle-per-stage checkpoint directory with fingerprint checks."""
+
+    def __init__(self, directory: str | os.PathLike, fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+
+    def path(self, stage: str) -> Path:
+        return self.directory / f"{stage}.ckpt"
+
+    def save(self, stage: str, payload: object) -> Path:
+        """Atomically write one stage's checkpoint."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(
+            {"fingerprint": self.fingerprint, "stage": stage,
+             "payload": payload},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        target = self.path(stage)
+        temp = target.with_name(target.name + ".tmp")
+        temp.write_bytes(blob)
+        os.replace(temp, target)
+        return target
+
+    def load(self, stage: str):
+        """Return the stage payload, or None if missing/stale/unreadable."""
+        target = self.path(stage)
+        if not target.exists():
+            return None
+        try:
+            envelope = pickle.loads(target.read_bytes())
+        except Exception:
+            return None  # truncated or foreign file: treat as absent
+        if not isinstance(envelope, dict):
+            return None
+        if envelope.get("fingerprint") != self.fingerprint:
+            return None  # stale: produced by a different config/seed
+        return envelope.get("payload")
+
+    def clear(self) -> int:
+        """Delete every checkpoint file; returns how many were removed."""
+        removed = 0
+        for stage in CHECKPOINT_STAGES:
+            target = self.path(stage)
+            if target.exists():
+                target.unlink()
+                removed += 1
+        return removed

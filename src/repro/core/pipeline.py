@@ -37,6 +37,36 @@ Extraction parallelism
     times are measured inside the workers and land in the stage report
     exactly as in a serial run, while phase wall-clock times are kept
     separately in ``PipelineReport.extraction_wall``.
+
+Fault tolerance
+    The fusion framework is meant to run over noisy Web-scale inputs
+    where individual extractors crash, hang or emit garbage.  Three
+    mechanisms keep a run alive (all deterministic, all testable
+    without wall-clock waits):
+
+    * **Stage isolation** — each extraction stage runs inside a guard:
+      an exception (or a deadline overrun against
+      ``PipelineConfig.stage_timeout``) marks the stage ``degraded`` in
+      ``PipelineReport.health`` and the pipeline continues with the
+      remaining sources.  If fewer than ``min_sources`` extractor
+      outputs survive, the run aborts with :class:`PipelineError` —
+      fusing one source is no fusion at all.
+    * **Record quarantine** — malformed input records (and records
+      corrupted by an injected fault plan) are diverted to a
+      :class:`~repro.core.quarantine.Quarantine` sink with per-source
+      counts and sampled examples instead of crashing a stage.
+    * **Checkpoint/resume** — with ``checkpoint_dir`` set, extraction
+      and claim-preparation outputs are spilled via
+      :class:`~repro.core.checkpoint.CheckpointStore`;
+      ``run(resume=True)`` restores completed stages (fingerprinted
+      against the data-determining config, so a changed seed or knob
+      invalidates old checkpoints).  Degraded runs never write
+      checkpoints — resume only ever restores healthy state.
+
+    ``PipelineConfig.retry`` and ``fault_plan`` ride through to the
+    sharded-fusion MapReduce job, so transient worker crashes during
+    fusion are retried with deterministic backoff (see
+    :mod:`repro.mapreduce.engine` and :mod:`repro.faults`).
 """
 
 from __future__ import annotations
@@ -46,7 +76,10 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
 from repro.core.augmentation import AugmentationReport, augment_kb
-from repro.errors import PipelineError
+from repro.core.checkpoint import CheckpointStore, config_fingerprint
+from repro.core.quarantine import Quarantine, guard_records
+from repro.errors import PipelineError, StageTimeoutError
+from repro.faults import FaultPlan
 from repro.core.confidence import ConfidenceConfig, ConfidenceScorer
 from repro.entity.discovery import (
     JointEntityResolver,
@@ -76,11 +109,21 @@ from repro.extract.seeds import SeedSet, build_seed_sets
 from repro.extract.webtext import WebTextExtractor, WebTextExtractorConfig
 from repro.fusion.base import ClaimSet, FusionResult
 from repro.fusion.knowledge_fusion import KnowledgeFusion
+from repro.mapreduce.engine import RetryPolicy
 from repro.synth.kb_snapshots import KbPairConfig, build_kb_pair
-from repro.synth.querylog import QueryLogConfig, generate_query_log
-from repro.synth.websites import WebsiteConfig, generate_websites
-from repro.synth.webtext import WebTextConfig, generate_webtext
+from repro.synth.querylog import QueryLogConfig, QueryRecord, generate_query_log
+from repro.synth.websites import WebPage, WebsiteConfig, generate_websites
+from repro.synth.webtext import TextDocument, WebTextConfig, generate_webtext
 from repro.synth.world import GroundTruthWorld, WorldConfig
+
+# The four extraction stage names, in pipeline order (used to filter
+# report fragments into the extraction checkpoint).
+EXTRACTION_STAGES = (
+    "kb-extraction",
+    "query-stream",
+    "dom-extraction",
+    "webtext-extraction",
+)
 
 
 @dataclass(slots=True)
@@ -129,6 +172,26 @@ class PipelineConfig:
     fusion_parallelism: int = 1
     # Mapreduce executor for sharded fusion: "process" or "serial".
     fusion_executor: str = "process"
+    # -- Fault tolerance ------------------------------------------------
+    # Retry policy for the sharded-fusion MapReduce job (None keeps the
+    # legacy single-attempt behaviour).
+    retry: RetryPolicy | None = None
+    # Deterministic fault plan (repro.faults) injected into extraction
+    # stage guards, record validation and the fusion job.  Testing
+    # only; None in production runs.
+    fault_plan: FaultPlan | None = None
+    # Deadline in seconds for each extraction stage (measured work time
+    # plus any injected slow-call seconds); overruns degrade the stage.
+    stage_timeout: float | None = None
+    # Minimum number of healthy extractor outputs required to proceed
+    # to fusion; fewer raises PipelineError.
+    min_sources: int = 1
+    # Quarantine capacity: total diverted records above this raise
+    # QuarantineOverflowError (losing most of a feed silently would be
+    # worse than failing).
+    quarantine_capacity: int = 1000
+    # Directory for stage checkpoints (None disables checkpointing).
+    checkpoint_dir: str | None = None
 
 
 @dataclass(slots=True)
@@ -138,6 +201,42 @@ class StageTiming:
     stage: str
     seconds: float
     detail: str = ""
+
+
+@dataclass(slots=True)
+class PipelineHealth:
+    """Fault-tolerance accounting of one run (JSON-ready via to_dict)."""
+
+    # "ok" or "degraded" (at least one stage was isolated or skipped).
+    status: str = "ok"
+    # stage name -> reason it was degraded/skipped.
+    degraded: dict[str, str] = field(default_factory=dict)
+    # Extractor outputs that survived extraction (sorted source ids).
+    active_sources: list[str] = field(default_factory=list)
+    min_sources: int = 1
+    # Stages restored from a checkpoint instead of recomputed.
+    resumed_stages: list[str] = field(default_factory=list)
+    # Quarantine.to_dict() snapshot: total / per-source counts / samples.
+    quarantined: dict = field(default_factory=dict)
+    # Fusion-job retry counters (attempts/retries/timed_out_tasks) when
+    # a retry policy or fault plan was active.
+    retry: dict = field(default_factory=dict)
+
+    def mark_degraded(self, stage: str, reason: str) -> None:
+        self.status = "degraded"
+        self.degraded.setdefault(stage, reason)
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "degraded": dict(sorted(self.degraded.items())),
+            "active_sources": list(self.active_sources),
+            "min_sources": self.min_sources,
+            "resumed_stages": list(self.resumed_stages),
+            "quarantined": self.quarantined
+            or {"total": 0, "counts": {}, "samples": {}},
+            "retry": dict(self.retry),
+        }
 
 
 @dataclass(slots=True)
@@ -165,9 +264,75 @@ class PipelineReport:
     # serial fusion): components / workers / executor / largest_claims
     # / component_claims.
     fusion_shards: dict = field(default_factory=dict)
+    # Degradation / quarantine / retry / resume accounting.
+    health: PipelineHealth = field(default_factory=PipelineHealth)
 
     def total_seconds(self) -> float:
         return sum(timing.seconds for timing in self.timings)
+
+    def to_json_dict(self) -> dict:
+        """JSON-serializable report summary (``json.dumps``-ready).
+
+        Includes both timing fields (non-deterministic wall clock) and
+        result fields; chaos determinism checks compare the subset that
+        is a pure function of config + seeds: ``seed_sizes``,
+        ``attribute_counts``, ``triple_counts``, ``fused_items`` and
+        ``health``.
+        """
+        return {
+            "timings": [
+                {
+                    "stage": timing.stage,
+                    "seconds": timing.seconds,
+                    "detail": timing.detail,
+                }
+                for timing in self.timings
+            ],
+            "seed_sizes": dict(sorted(self.seed_sizes.items())),
+            "attribute_counts": {
+                source: dict(sorted(counts.items()))
+                for source, counts in sorted(self.attribute_counts.items())
+            },
+            "triple_counts": dict(sorted(self.triple_counts.items())),
+            "extraction_wall": dict(self.extraction_wall),
+            "fusion_wall": self.fusion_wall,
+            "fusion_shards": dict(self.fusion_shards),
+            "fused_items": (
+                len(self.fusion_result.truths)
+                if self.fusion_result is not None
+                else None
+            ),
+            "health": self.health.to_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Record validators for the quarantine guards: structurally broken
+# records (wrong type, empty payload) are diverted, not crashed on.
+
+
+def _valid_query_record(record: object) -> bool:
+    return (
+        isinstance(record, QueryRecord)
+        and isinstance(record.text, str)
+        and bool(record.text.strip())
+    )
+
+
+def _valid_page(record: object) -> bool:
+    return (
+        isinstance(record, WebPage)
+        and isinstance(record.html, str)
+        and bool(record.html.strip())
+    )
+
+
+def _valid_document(record: object) -> bool:
+    return (
+        isinstance(record, TextDocument)
+        and isinstance(record.text, str)
+        and bool(record.text.strip())
+    )
 
 
 # ----------------------------------------------------------------------
@@ -199,15 +364,32 @@ def _dom_stage(
     dom_config: DomExtractorConfig,
     world: GroundTruthWorld,
     website_config: WebsiteConfig,
+    fault_plan: FaultPlan | None = None,
+    quarantine_capacity: int = 1000,
 ):
-    """Stage 4: generate websites and run Algorithm 1 over them."""
+    """Stage 4: generate websites and run Algorithm 1 over them.
+
+    Pages pass through a record guard before extraction; diverted pages
+    land in a stage-local quarantine the parent merges back (the stage
+    may be running in a worker process).
+    """
     started = time.perf_counter()
     sites = generate_websites(world, website_config)
+    local_quarantine = Quarantine(capacity=quarantine_capacity)
+    page_index = 0
+    for site in sites:
+        page_count = len(site.pages)
+        site.pages = guard_records(
+            site.pages, _valid_page, local_quarantine, "dom",
+            plan=fault_plan, scope="records:dom", start_index=page_index,
+        )
+        page_index += page_count
     extractor = DomTreeExtractor(entity_index, seeds, dom_config)
     output = extractor.extract(sites)
     return (
         output,
         extractor.mention_classes,
+        local_quarantine,
         time.perf_counter() - started,
     )
 
@@ -219,16 +401,23 @@ def _webtext_stage(
     world: GroundTruthWorld,
     webtext_config: WebTextConfig,
     extractor_config: WebTextExtractorConfig,
+    fault_plan: FaultPlan | None = None,
+    quarantine_capacity: int = 1000,
 ):
     """Stage 5: generate Web texts and run the seed-driven extractor."""
     started = time.perf_counter()
     documents = generate_webtext(world, webtext_config)
+    local_quarantine = Quarantine(capacity=quarantine_capacity)
+    documents = guard_records(
+        documents, _valid_document, local_quarantine, "webtext",
+        plan=fault_plan, scope="records:webtext",
+    )
     extractor = WebTextExtractor(
         entity_index, seeds, kb_triples, extractor_config
     )
     extractor.learn(documents)
     output = extractor.extract(documents)
-    return output, time.perf_counter() - started
+    return output, local_quarantine, time.perf_counter() - started
 
 
 class KnowledgeBaseConstructionPipeline:
@@ -248,75 +437,120 @@ class KnowledgeBaseConstructionPipeline:
         self.outputs: dict[str, ExtractorOutput] = {}
         self.seeds: dict[str, SeedSet] = {}
         self.claims: ClaimSet | None = None
+        self.quarantine = Quarantine(capacity=self.config.quarantine_capacity)
 
     # ------------------------------------------------------------------
-    def run(self) -> PipelineReport:
+    def run(self, resume: bool = False) -> PipelineReport:
         report = PipelineReport()
         world = self.world
         cfg = self.config
-        if cfg.stage_executor not in ("process", "thread"):
+        self._validate_config()
+        health = report.health
+        health.min_sources = cfg.min_sources
+        self.quarantine = Quarantine(capacity=cfg.quarantine_capacity)
+
+        store = None
+        if cfg.checkpoint_dir is not None:
+            store = CheckpointStore(
+                cfg.checkpoint_dir, config_fingerprint(cfg)
+            )
+
+        restored = (
+            store.load("extraction")
+            if (store is not None and resume)
+            else None
+        )
+        if restored is not None:
+            mention_classes = self._restore_extraction(report, restored)
+        else:
+            parallel = max(1, cfg.parallelism) > 1
+            pool = None
+            if parallel:
+                pool_cls = (
+                    ProcessPoolExecutor
+                    if cfg.stage_executor == "process"
+                    else ThreadPoolExecutor
+                )
+                pool = pool_cls(max_workers=min(2, cfg.parallelism))
+            try:
+                mention_classes = self._run_extraction(report, pool)
+            finally:
+                if pool is not None:
+                    pool.shutdown()
+            if store is not None and not health.degraded:
+                store.save(
+                    "extraction",
+                    self._extraction_payload(report, mention_classes),
+                )
+
+        health.quarantined = self.quarantine.to_dict()
+        health.active_sources = sorted(self.outputs)
+        if len(self.outputs) < cfg.min_sources:
             raise PipelineError(
-                "stage_executor must be 'process' or 'thread', "
-                f"got {cfg.stage_executor!r}"
+                f"only {len(self.outputs)} extraction source(s) healthy "
+                f"({health.active_sources}), below min_sources="
+                f"{cfg.min_sources}; degraded: {sorted(health.degraded)}"
             )
-        if cfg.fusion_executor not in ("process", "serial"):
-            raise PipelineError(
-                "fusion_executor must be 'process' or 'serial', "
-                f"got {cfg.fusion_executor!r}"
-            )
-        if cfg.fusion_parallelism < 1:
-            raise PipelineError("fusion_parallelism must be >= 1")
-        parallel = max(1, cfg.parallelism) > 1
-        pool = None
-        if parallel:
-            pool_cls = (
-                ProcessPoolExecutor
-                if cfg.stage_executor == "process"
-                else ThreadPoolExecutor
-            )
-            pool = pool_cls(max_workers=min(2, cfg.parallelism))
-        try:
-            mention_classes = self._run_extraction(report, pool)
-        finally:
-            if pool is not None:
-                pool.shutdown()
 
-        all_triples = [
-            scored
-            for output in self.outputs.values()
-            for scored in output.triples
-        ]
+        claims_payload = (
+            store.load("claims") if (store is not None and resume) else None
+        )
+        if claims_payload is not None:
+            all_triples = claims_payload["all_triples"]
+            self.outputs = dict(claims_payload["outputs"])
+            report.entity_resolution = claims_payload["entity_resolution"]
+            health.resumed_stages.append("claims")
+            health.active_sources = sorted(self.outputs)
+        else:
+            all_triples = [
+                scored
+                for output in self.outputs.values()
+                for scored in output.triples
+            ]
 
-        # -- 5b. Joint entity linking + discovery ---------------------------
-        if cfg.discover_new_entities:
-            with _timed(report, "entity-resolution") as timing:
-                resolver = JointEntityResolver(
-                    EntityLinker(self.entity_index)
-                )
-                all_triples, outcome = resolve_mention_triples(
-                    all_triples, mention_classes, resolver
-                )
-                report.entity_resolution = outcome
-                timing.detail = (
-                    f"{len(outcome.linked)} linked, "
-                    f"{len(outcome.clusters)} new entities"
-                )
+            # -- 5b. Joint entity linking + discovery ----------------------
+            if cfg.discover_new_entities:
+                with _timed(report, "entity-resolution") as timing:
+                    self._check_fatal_fault("entity-resolution")
+                    resolver = JointEntityResolver(
+                        EntityLinker(self.entity_index)
+                    )
+                    all_triples, outcome = resolve_mention_triples(
+                        all_triples, mention_classes, resolver
+                    )
+                    report.entity_resolution = outcome
+                    timing.detail = (
+                        f"{len(outcome.linked)} linked, "
+                        f"{len(outcome.clusters)} new entities"
+                    )
 
-        # -- 6. Attribute resolution ---------------------------------------
-        if cfg.resolve_attributes:
-            with _timed(report, "attribute-resolution") as timing:
-                all_triples = self._resolve_attributes(all_triples)
+            # -- 6. Attribute resolution ----------------------------------
+            if cfg.resolve_attributes:
+                with _timed(report, "attribute-resolution") as timing:
+                    self._check_fatal_fault("attribute-resolution")
+                    all_triples = self._resolve_attributes(all_triples)
+                    timing.detail = f"{len(all_triples)} claims"
+
+            # -- 7. Confidence scoring ------------------------------------
+            with _timed(report, "confidence") as timing:
+                self._check_fatal_fault("confidence")
+                scorer = ConfidenceScorer(cfg.confidence)
+                all_triples = scorer.score_batch(all_triples)
+                for output in self.outputs.values():
+                    for per_class in output.attributes.values():
+                        for record in per_class.values():
+                            record.confidence = scorer.score_attribute(record)
                 timing.detail = f"{len(all_triples)} claims"
 
-        # -- 7. Confidence scoring ----------------------------------------
-        with _timed(report, "confidence") as timing:
-            scorer = ConfidenceScorer(cfg.confidence)
-            all_triples = scorer.score_batch(all_triples)
-            for output in self.outputs.values():
-                for per_class in output.attributes.values():
-                    for record in per_class.values():
-                        record.confidence = scorer.score_attribute(record)
-            timing.detail = f"{len(all_triples)} claims"
+            if store is not None and not health.degraded:
+                store.save(
+                    "claims",
+                    {
+                        "all_triples": all_triples,
+                        "outputs": self.outputs,
+                        "entity_resolution": report.entity_resolution,
+                    },
+                )
 
         for extractor_id, output in self.outputs.items():
             report.attribute_counts[extractor_id] = {
@@ -327,6 +561,7 @@ class KnowledgeBaseConstructionPipeline:
 
         # -- 8. Fusion -----------------------------------------------------
         with _timed(report, "fusion") as timing:
+            self._check_fatal_fault("fusion")
             self.claims = ClaimSet.from_scored_triples(all_triples)
             if cfg.functionality_source == "estimated":
                 from repro.fusion.functionality import (
@@ -349,6 +584,8 @@ class KnowledgeBaseConstructionPipeline:
                 use_confidence=cfg.use_confidence,
                 parallelism=cfg.fusion_parallelism,
                 fusion_executor=cfg.fusion_executor,
+                retry=cfg.retry,
+                fault_plan=cfg.fault_plan,
             )
             fuse_started = time.perf_counter()
             result = fusion.fuse(self.claims)
@@ -362,6 +599,12 @@ class KnowledgeBaseConstructionPipeline:
                     "largest_claims": shard_stats.largest_claims,
                     "component_claims": shard_stats.component_claims,
                 }
+                if shard_stats.attempts:
+                    health.retry = {
+                        "attempts": shard_stats.attempts,
+                        "retries": shard_stats.retries,
+                        "timed_out_tasks": shard_stats.timed_out_tasks,
+                    }
             report.fusion_result = result
             timing.detail = (
                 f"{len(self.claims)} claims, {len(result.truths)} items"
@@ -369,6 +612,7 @@ class KnowledgeBaseConstructionPipeline:
 
         # -- 9. Evaluation --------------------------------------------------
         with _timed(report, "evaluation"):
+            self._check_fatal_fault("evaluation")
             evaluated = result
             if report.entity_resolution is not None:
                 # Resolve discovered-entity ids back to gold identities
@@ -387,25 +631,110 @@ class KnowledgeBaseConstructionPipeline:
 
         # -- 10. Augmentation ------------------------------------------------
         with _timed(report, "augmentation") as timing:
-            discovered_entities = (
-                report.entity_resolution.new_entities()
-                if report.entity_resolution is not None
-                else None
-            )
-            report.augmentation = augment_kb(
-                self.freebase,
-                list(self.outputs.values()),
-                result,
-                self.claims,
-                class_of_subject=self._class_of_subject,
-                new_entities=discovered_entities,
-            )
-            timing.detail = (
-                f"{report.augmentation.new_facts} facts, "
-                f"{report.augmentation.total_new_attributes()} attributes, "
-                f"{report.augmentation.new_entities} entities"
-            )
+            self._check_fatal_fault("augmentation")
+            if self.freebase is None:
+                # The KB stage degraded away: there is no snapshot to
+                # augment, but fusion/evaluation above still ran.
+                health.mark_degraded(
+                    "augmentation", "skipped: kb snapshot unavailable"
+                )
+                timing.detail = "skipped"
+            else:
+                discovered_entities = (
+                    report.entity_resolution.new_entities()
+                    if report.entity_resolution is not None
+                    else None
+                )
+                report.augmentation = augment_kb(
+                    self.freebase,
+                    list(self.outputs.values()),
+                    result,
+                    self.claims,
+                    class_of_subject=self._class_of_subject,
+                    new_entities=discovered_entities,
+                )
+                timing.detail = (
+                    f"{report.augmentation.new_facts} facts, "
+                    f"{report.augmentation.total_new_attributes()} attributes, "
+                    f"{report.augmentation.new_entities} entities"
+                )
         return report
+
+    # ------------------------------------------------------------------
+    def _validate_config(self) -> None:
+        cfg = self.config
+        if cfg.stage_executor not in ("process", "thread"):
+            raise PipelineError(
+                "stage_executor must be 'process' or 'thread', "
+                f"got {cfg.stage_executor!r}"
+            )
+        if cfg.fusion_executor not in ("process", "serial"):
+            raise PipelineError(
+                "fusion_executor must be 'process' or 'serial', "
+                f"got {cfg.fusion_executor!r}"
+            )
+        if cfg.fusion_parallelism < 1:
+            raise PipelineError("fusion_parallelism must be >= 1")
+        if cfg.min_sources < 0:
+            raise PipelineError("min_sources must be >= 0")
+        if cfg.quarantine_capacity < 1:
+            raise PipelineError("quarantine_capacity must be >= 1")
+        if cfg.stage_timeout is not None and cfg.stage_timeout <= 0:
+            raise PipelineError("stage_timeout must be positive")
+
+    # ------------------------------------------------------------------
+    def _check_fatal_fault(self, stage: str) -> None:
+        """Fire any injected fault targeting a post-extraction stage.
+
+        These stages are not isolated (their outputs feed everything
+        downstream), so an injected crash here aborts the run — exactly
+        the scenario checkpoint/resume exists for.
+        """
+        plan = self.config.fault_plan
+        if plan is not None:
+            plan.task_delay(f"stage:{stage}", 0, 0)
+
+    def _guarded_stage(self, report: PipelineReport, stage: str, call):
+        """Run one extraction stage inside an isolation boundary.
+
+        ``call`` must return a tuple whose last element is the stage's
+        measured work seconds.  On success returns that tuple with any
+        injected slow-seconds folded into the timing (so deadline tests
+        never actually sleep); on exception — organic, injected, or a
+        :class:`StageTimeoutError` raised here when the stage exceeds
+        ``stage_timeout`` — marks the stage degraded in the report's
+        health section and returns None, and the pipeline continues
+        with the remaining sources.
+        """
+        cfg = self.config
+        try:
+            extra = 0.0
+            if cfg.fault_plan is not None:
+                extra = cfg.fault_plan.task_delay(f"stage:{stage}", 0, 0)
+            result = call()
+            seconds = result[-1] + extra
+            if cfg.stage_timeout is not None and seconds > cfg.stage_timeout:
+                raise StageTimeoutError(
+                    f"stage {stage} ran {seconds:.3f}s, "
+                    f"over the {cfg.stage_timeout}s deadline"
+                )
+            return result[:-1] + (seconds,)
+        except Exception as exc:  # noqa: BLE001 — the isolation boundary
+            report.health.mark_degraded(
+                stage, f"{type(exc).__name__}: {exc}"
+            )
+            return None
+
+    def _guard_input(self, records, validator, source: str):
+        """Divert malformed records of one parent-side input stream."""
+        return guard_records(
+            records,
+            validator,
+            self.quarantine,
+            source,
+            plan=self.config.fault_plan,
+            scope=f"records:{source}",
+        )
 
     # ------------------------------------------------------------------
     def _run_extraction(self, report: PipelineReport, pool) -> dict[str, str]:
@@ -416,55 +745,87 @@ class KnowledgeBaseConstructionPipeline:
         extraction next to query-log generation and phase B runs the DOM
         and Web-text extractors side by side; stage timings are measured
         inside the stage bodies either way, so the report is comparable
-        across modes.
+        across modes.  Every stage runs inside :meth:`_guarded_stage`,
+        so one crashing extractor degrades its source instead of killing
+        the run.
         """
         world = self.world
         cfg = self.config
+        plan = cfg.fault_plan
 
         # -- 1+2a. KB snapshots + query-log generation (phase A) ---------
+        phase_started = time.perf_counter()
         if pool is not None:
-            phase_started = time.perf_counter()
             kb_future = pool.submit(_kb_stage, world, cfg.kb_pair)
             log_future = pool.submit(_querylog_stage, world, cfg.querylog)
-            self.freebase, self.dbpedia, kb_output, kb_seconds = (
-                kb_future.result()
+            kb_call = kb_future.result
+        else:
+            log_future = None
+
+            def kb_call():
+                return _kb_stage(world, cfg.kb_pair)
+
+        kb_output = None
+        kb_result = self._guarded_stage(report, "kb-extraction", kb_call)
+        if kb_result is not None:
+            self.freebase, self.dbpedia, kb_output, kb_seconds = kb_result
+            self.outputs["kb"] = kb_output
+            report.timings.append(
+                StageTiming(
+                    "kb-extraction", kb_seconds,
+                    f"{len(kb_output.triples)} claims",
+                )
             )
-            log, log_seconds = log_future.result()
+
+        self.entity_index = (
+            self._set_e_index() if self.freebase is not None else {}
+        )
+
+        # -- 2b. Query-stream extraction (needs Set_E) --------------------
+        def query_stream_call():
+            if log_future is not None:
+                log, log_seconds = log_future.result()
+            else:
+                log, log_seconds = _querylog_stage(world, cfg.querylog)
+            log = self._guard_input(log, _valid_query_record, "querystream")
+            started = time.perf_counter()
+            extractor = QueryStreamExtractor(
+                self.entity_index, cfg.querystream
+            )
+            query_output, query_stats = extractor.extract(log)
+            return (
+                query_output,
+                query_stats,
+                len(log),
+                log_seconds + (time.perf_counter() - started),
+            )
+
+        query_output = None
+        query_result = self._guarded_stage(
+            report, "query-stream", query_stream_call
+        )
+        if query_result is not None:
+            query_output, query_stats, record_count, query_seconds = (
+                query_result
+            )
+            self.outputs["querystream"] = query_output
+            report.query_stats = query_stats
+            report.timings.append(
+                StageTiming(
+                    "query-stream", query_seconds, f"{record_count} records"
+                )
+            )
+        if pool is not None:
             report.extraction_wall["phase-a"] = (
                 time.perf_counter() - phase_started
             )
-        else:
-            self.freebase, self.dbpedia, kb_output, kb_seconds = _kb_stage(
-                world, cfg.kb_pair
-            )
-            log, log_seconds = _querylog_stage(world, cfg.querylog)
-        self.outputs["kb"] = kb_output
-        report.timings.append(
-            StageTiming(
-                "kb-extraction", kb_seconds,
-                f"{len(kb_output.triples)} claims",
-            )
-        )
-
-        self.entity_index = self._set_e_index()
-
-        # -- 2b. Query-stream extraction (needs Set_E) --------------------
-        started = time.perf_counter()
-        extractor = QueryStreamExtractor(self.entity_index, cfg.querystream)
-        query_output, query_stats = extractor.extract(log)
-        self.outputs["querystream"] = query_output
-        report.query_stats = query_stats
-        report.timings.append(
-            StageTiming(
-                "query-stream",
-                log_seconds + (time.perf_counter() - started),
-                f"{len(log)} records",
-            )
-        )
 
         # -- 3. Seed sets --------------------------------------------------
+        seed_outputs = [
+            output for output in (kb_output, query_output) if output is not None
+        ]
         self.seeds = build_seed_sets(
-            [kb_output, query_output],
+            seed_outputs,
             world.classes(),
             min_support=cfg.seed_min_support,
         )
@@ -476,46 +837,113 @@ class KnowledgeBaseConstructionPipeline:
         dom_config = cfg.dom
         if cfg.discover_new_entities:
             dom_config = replace(dom_config, allow_mention_anchors=True)
+        kb_triples = kb_output.triples if kb_output is not None else []
+        phase_started = time.perf_counter()
         if pool is not None:
-            phase_started = time.perf_counter()
             dom_future = pool.submit(
                 _dom_stage, self.entity_index, self.seeds, dom_config,
-                world, cfg.websites,
+                world, cfg.websites, plan, cfg.quarantine_capacity,
             )
             text_future = pool.submit(
                 _webtext_stage, self.entity_index, self.seeds,
-                kb_output.triples, world, cfg.webtext,
-                cfg.webtext_extractor,
+                kb_triples, world, cfg.webtext,
+                cfg.webtext_extractor, plan, cfg.quarantine_capacity,
             )
-            dom_output, mention_classes, dom_seconds = dom_future.result()
-            text_output, text_seconds = text_future.result()
+            dom_call = dom_future.result
+            text_call = text_future.result
+        else:
+
+            def dom_call():
+                return _dom_stage(
+                    self.entity_index, self.seeds, dom_config,
+                    world, cfg.websites, plan, cfg.quarantine_capacity,
+                )
+
+            def text_call():
+                return _webtext_stage(
+                    self.entity_index, self.seeds, kb_triples,
+                    world, cfg.webtext, cfg.webtext_extractor,
+                    plan, cfg.quarantine_capacity,
+                )
+
+        def dom_stage_call():
+            output, mention_classes, local_quarantine, seconds = dom_call()
+            self.quarantine.merge(local_quarantine)
+            return output, mention_classes, seconds
+
+        mention_classes: dict[str, str] = {}
+        dom_result = self._guarded_stage(
+            report, "dom-extraction", dom_stage_call
+        )
+        if dom_result is not None:
+            dom_output, mention_classes, dom_seconds = dom_result
+            self.outputs["dom"] = dom_output
+            report.timings.append(
+                StageTiming(
+                    "dom-extraction", dom_seconds,
+                    f"{len(dom_output.triples)} claims",
+                )
+            )
+
+        def text_stage_call():
+            output, local_quarantine, seconds = text_call()
+            self.quarantine.merge(local_quarantine)
+            return output, seconds
+
+        text_result = self._guarded_stage(
+            report, "webtext-extraction", text_stage_call
+        )
+        if text_result is not None:
+            text_output, text_seconds = text_result
+            self.outputs["webtext"] = text_output
+            report.timings.append(
+                StageTiming(
+                    "webtext-extraction", text_seconds,
+                    f"{len(text_output.triples)} claims",
+                )
+            )
+        if pool is not None:
             report.extraction_wall["phase-b"] = (
                 time.perf_counter() - phase_started
             )
-        else:
-            dom_output, mention_classes, dom_seconds = _dom_stage(
-                self.entity_index, self.seeds, dom_config,
-                world, cfg.websites,
-            )
-            text_output, text_seconds = _webtext_stage(
-                self.entity_index, self.seeds, kb_output.triples,
-                world, cfg.webtext, cfg.webtext_extractor,
-            )
-        self.outputs["dom"] = dom_output
-        self.outputs["webtext"] = text_output
-        report.timings.append(
-            StageTiming(
-                "dom-extraction", dom_seconds,
-                f"{len(dom_output.triples)} claims",
-            )
-        )
-        report.timings.append(
-            StageTiming(
-                "webtext-extraction", text_seconds,
-                f"{len(text_output.triples)} claims",
-            )
-        )
         return mention_classes
+
+    # ------------------------------------------------------------------
+    def _extraction_payload(
+        self, report: PipelineReport, mention_classes: dict[str, str]
+    ) -> dict:
+        """Everything the extraction checkpoint must restore."""
+        return {
+            "freebase": self.freebase,
+            "dbpedia": self.dbpedia,
+            "outputs": self.outputs,
+            "seeds": self.seeds,
+            "entity_index": self.entity_index,
+            "mention_classes": mention_classes,
+            "seed_sizes": report.seed_sizes,
+            "query_stats": report.query_stats,
+            "quarantine": self.quarantine,
+        }
+
+    def _restore_extraction(
+        self, report: PipelineReport, payload: dict
+    ) -> dict[str, str]:
+        """Restore extraction state from a checkpoint payload.
+
+        Stage timings are deliberately not restored: a resumed report
+        shows no extraction timings, which is the visible signal the
+        stages were skipped.
+        """
+        self.freebase = payload["freebase"]
+        self.dbpedia = payload["dbpedia"]
+        self.outputs = dict(payload["outputs"])
+        self.seeds = payload["seeds"]
+        self.entity_index = payload["entity_index"]
+        self.quarantine = payload["quarantine"]
+        report.seed_sizes = payload["seed_sizes"]
+        report.query_stats = payload["query_stats"]
+        report.health.resumed_stages.append("extraction")
+        return payload["mention_classes"]
 
     # ------------------------------------------------------------------
     def _set_e_index(self):

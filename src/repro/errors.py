@@ -42,3 +42,32 @@ class PipelineError(ReproError):
 
 class GenerationError(ReproError):
     """Raised when a synthetic-data generator receives invalid parameters."""
+
+
+class RetryExhaustedError(ReproError):
+    """Raised when a task keeps failing after every allowed attempt.
+
+    The MapReduce engine raises this once a map partition or reduce
+    chunk has failed ``RetryPolicy.max_attempts`` times (the last
+    underlying failure is chained as ``__cause__``).  With retries
+    disabled a single failure exhausts the budget immediately.
+    """
+
+
+class StageTimeoutError(ReproError):
+    """Raised when a pipeline stage or MapReduce task exceeds its deadline.
+
+    Deadlines are checked against the task's *measured* duration (real
+    wall time plus any injected slow-call seconds from a
+    :class:`repro.faults.FaultPlan`), so tests can trigger timeouts
+    deterministically without waiting.
+    """
+
+
+class QuarantineOverflowError(ReproError):
+    """Raised when the malformed-record quarantine exceeds its capacity.
+
+    A bounded quarantine distinguishes "a few bad records" (divert and
+    continue) from "the input is systematically broken" (fail loudly
+    rather than silently discarding most of a source).
+    """

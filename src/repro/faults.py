@@ -1,0 +1,181 @@
+"""Deterministic fault injection for the fault-tolerance layer.
+
+Production KB construction must survive crashed workers, slow tasks and
+malformed records (Dong et al., *From Data Fusion to Knowledge Fusion*;
+the KBC-architecture survey calls pipeline resilience a first-class
+concern).  Testing those paths with real crashes and real clocks makes
+chaos tests flaky; this module makes every failure mode a pure function
+of ``(scope, index, attempt)`` so a failure schedule is exactly
+reproducible:
+
+* **crash** — raise :class:`InjectedFault` when a targeted task runs
+  (optionally only for its first ``attempts`` attempts, which models a
+  transient fault that a retry survives);
+* **slow** — add seconds to the task's *reported* duration without
+  sleeping, so deadline handling is testable in microseconds;
+* **corrupt** — replace an input record with a
+  :class:`CorruptedRecord` carrying seeded garbage, which record
+  validation then diverts to the quarantine.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` targets plus a
+seed (used to derive the corruption payloads).  Plans are picklable, so
+they ride into MapReduce worker processes alongside the task wrappers;
+hooks are read-only, so a plan behaves identically under any executor.
+
+Scope naming convention used across the repo:
+
+* ``"map"`` / ``"reduce"`` — MapReduce task wrappers
+  (:mod:`repro.mapreduce.engine`), indexed by partition/chunk;
+* ``"stage:<name>"`` — pipeline stages (``stage:dom-extraction``,
+  ``stage:fusion``, ...), always index 0;
+* ``"records:<source>"`` — extractor input streams
+  (``records:querystream``, ``records:dom``, ``records:webtext``),
+  indexed by record position.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["CorruptedRecord", "FaultPlan", "FaultSpec", "InjectedFault"]
+
+CRASH = "crash"
+SLOW = "slow"
+CORRUPT = "corrupt"
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by a :class:`FaultPlan`.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: injected
+    faults simulate infrastructure failures (a worker segfault, an OOM
+    kill), which the library does not raise itself.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``attempts`` bounds crash/slow faults to the first N attempts of
+    the targeted task (``attempts <= 0`` means every attempt — a
+    permanent fault); corruption is attempt-independent.  ``index`` of
+    ``None`` matches every task in the scope.
+    """
+
+    kind: str
+    scope: str
+    index: int | None = 0
+    attempts: int = 1
+    seconds: float = 0.0
+
+    def matches(self, scope: str, index: int, attempt: int) -> bool:
+        return (
+            self.scope == scope
+            and (self.index is None or self.index == index)
+            and (self.attempts <= 0 or attempt < self.attempts)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CorruptedRecord:
+    """What a corrupt-record fault turns an input record into.
+
+    Validators reject it (it is not a page/document/query record), so
+    the quarantine diverts it; ``original_repr`` keeps a truncated
+    picture of what was destroyed for the quarantine's sampled
+    examples.
+    """
+
+    scope: str
+    index: int
+    garbage: str
+    original_repr: str
+
+
+@dataclass(slots=True)
+class FaultPlan:
+    """A seeded, deterministic schedule of injected faults.
+
+    Build plans fluently::
+
+        plan = (
+            FaultPlan(seed=7)
+            .crash("map", index=0)                  # transient: attempt 0 only
+            .slow("stage:dom-extraction", seconds=90.0)
+            .corrupt("records:querystream", index=12)
+        )
+
+    The hooks (:meth:`task_delay`, :meth:`corrupt_record`) never mutate
+    the plan, so the same plan object can be shared across executors,
+    worker processes and repeated runs.
+    """
+
+    seed: int = 0
+    specs: list[FaultSpec] = field(default_factory=list)
+
+    # -- builders ------------------------------------------------------
+    def crash(
+        self, scope: str, *, index: int | None = 0, attempts: int = 1
+    ) -> "FaultPlan":
+        """Schedule an :class:`InjectedFault` for a task's first attempts."""
+        self.specs.append(FaultSpec(CRASH, scope, index, attempts))
+        return self
+
+    def slow(
+        self,
+        scope: str,
+        *,
+        seconds: float,
+        index: int | None = 0,
+        attempts: int = 1,
+    ) -> "FaultPlan":
+        """Schedule extra *reported* seconds for a task (no real sleep)."""
+        self.specs.append(FaultSpec(SLOW, scope, index, attempts, seconds))
+        return self
+
+    def corrupt(self, scope: str, *, index: int) -> "FaultPlan":
+        """Schedule one input record to be replaced with seeded garbage."""
+        self.specs.append(FaultSpec(CORRUPT, scope, index))
+        return self
+
+    # -- hooks ---------------------------------------------------------
+    def task_delay(self, scope: str, index: int, attempt: int) -> float:
+        """Crash/slow hook called by task wrappers before/around a task.
+
+        Raises :class:`InjectedFault` if a crash spec matches; otherwise
+        returns the summed injected seconds of matching slow specs.
+        """
+        extra = 0.0
+        for spec in self.specs:
+            if not spec.matches(scope, index, attempt):
+                continue
+            if spec.kind == CRASH:
+                raise InjectedFault(
+                    f"injected crash: {scope} task {index} "
+                    f"(attempt {attempt})"
+                )
+            if spec.kind == SLOW:
+                extra += spec.seconds
+        return extra
+
+    def corrupt_record(self, scope: str, index: int, record: object):
+        """Corruption hook: return the record, or its corrupted stand-in."""
+        for spec in self.specs:
+            if spec.kind == CORRUPT and spec.scope == scope and (
+                spec.index is None or spec.index == index
+            ):
+                return CorruptedRecord(
+                    scope=scope,
+                    index=index,
+                    garbage=self._garbage(scope, index),
+                    original_repr=repr(record)[:120],
+                )
+        return record
+
+    def _garbage(self, scope: str, index: int) -> str:
+        digest = hashlib.sha256(
+            f"{self.seed}:{scope}:{index}".encode()
+        ).hexdigest()
+        return f"\x00corrupt[{digest[:16]}]"

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.faults import FaultPlan
 from repro.fusion.base import Claim, ClaimSet, FusionMethod, FusionResult
+from repro.mapreduce.engine import RetryPolicy
 from repro.fusion.correlations import CorrelationEstimator
 from repro.fusion.hierarchy import CasefoldHierarchy, HierarchicalFusion
 from repro.fusion.multitruth import MultiTruth
@@ -65,6 +67,8 @@ class KnowledgeFusion(FusionMethod):
         max_iterations: int = 20,
         parallelism: int = 1,
         fusion_executor: str = "serial",
+        retry: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.hierarchy = hierarchy
         self.functional_of = functional_of
@@ -76,6 +80,8 @@ class KnowledgeFusion(FusionMethod):
         self.max_iterations = max_iterations
         self.parallelism = parallelism
         self.fusion_executor = fusion_executor
+        self.retry = retry
+        self.fault_plan = fault_plan
         self.last_shard_stats = None
         self._casefold_hierarchy = (
             CasefoldHierarchy(hierarchy) if hierarchy is not None else None
@@ -111,6 +117,8 @@ class KnowledgeFusion(FusionMethod):
                 working,
                 workers=self.parallelism,
                 executor=self.fusion_executor,
+                retry=self.retry,
+                fault_plan=self.fault_plan,
             )
         else:
             self.last_shard_stats = None

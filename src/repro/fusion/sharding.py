@@ -30,8 +30,9 @@ import functools
 from dataclasses import dataclass, field
 
 from repro.errors import FusionError
+from repro.faults import FaultPlan
 from repro.fusion.base import Claim, ClaimSet, FusionMethod, FusionResult
-from repro.mapreduce.engine import EXECUTORS, MapReduceJob
+from repro.mapreduce.engine import EXECUTORS, MapReduceJob, RetryPolicy
 
 __all__ = ["ShardStats", "shard_claims", "fuse_sharded"]
 
@@ -45,6 +46,12 @@ class ShardStats:
     executor: str = "serial"
     component_claims: list[int] = field(default_factory=list)
     component_items: list[int] = field(default_factory=list)
+    # Fault-tolerance accounting, copied from the underlying job's
+    # JobStats when a retry policy or fault plan was active (zero on
+    # plain runs).
+    attempts: int = 0
+    retries: int = 0
+    timed_out_tasks: int = 0
 
     @property
     def largest_claims(self) -> int:
@@ -123,6 +130,8 @@ def fuse_sharded(
     workers: int = 1,
     executor: str = "serial",
     partitions: int | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> tuple[FusionResult, ShardStats]:
     """Fuse each connected component independently and merge.
 
@@ -155,6 +164,8 @@ def fuse_sharded(
         partitions=partitions or 1,
         executor=executor,
         max_workers=workers,
+        retry=retry,
+        fault_plan=fault_plan,
     )
     merged = FusionResult(method.name)
     stats = ShardStats(workers=workers, executor=executor)
@@ -170,4 +181,7 @@ def fuse_sharded(
         converged.append(result.converged_at)
     if converged and all(round_ is not None for round_ in converged):
         merged.converged_at = max(converged)  # type: ignore[type-var]
+    stats.attempts = job.stats.attempts
+    stats.retries = job.stats.retries
+    stats.timed_out_tasks = job.stats.timed_out_tasks
     return merged, stats

@@ -5,6 +5,7 @@ from repro.mapreduce.engine import (
     JobStats,
     MapReduceJob,
     Pipeline,
+    RetryPolicy,
     shutdown_pools,
     word_count,
 )
@@ -15,6 +16,7 @@ __all__ = [
     "JobStats",
     "MapReduceJob",
     "Pipeline",
+    "RetryPolicy",
     "mr_accu",
     "mr_vote",
     "shutdown_pools",

@@ -23,6 +23,19 @@ partition results are merged in partition order and reducer input
 preserves emission order, so the shuffle — and therefore the output —
 is byte-identical to a serial run regardless of worker count or
 partitioning.
+
+Fault tolerance: passing a :class:`RetryPolicy` (or a
+:class:`repro.faults.FaultPlan`) switches a job onto a guarded dispatch
+path where every map partition and reduce chunk is an individually
+retried task — deterministic exponential backoff (injectable ``sleep``
+and ``clock``, so tests never wait), per-task deadlines checked against
+measured duration, automatic recreation of a broken worker pool, and
+optional re-splitting of a poison partition down to single records to
+isolate (and drop-count) the offending one.  A task that fails every
+allowed attempt raises
+:class:`~repro.errors.RetryExhaustedError`; retries of a
+deterministic task cannot change its result, so output stays
+byte-identical to an unfaulted run whenever the job completes.
 """
 
 from __future__ import annotations
@@ -30,12 +43,15 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import time
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Generic, Hashable, TypeVar
 
-from repro.errors import ReproError
+from repro.errors import ReproError, RetryExhaustedError, StageTimeoutError
+from repro.faults import FaultPlan
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -54,10 +70,24 @@ _POOLS: dict[int, ProcessPoolExecutor] = {}
 
 def _shared_pool(workers: int) -> ProcessPoolExecutor:
     pool = _POOLS.get(workers)
+    if pool is not None and getattr(pool, "_broken", False):
+        # A worker that died (segfault, OOM kill, os._exit) breaks the
+        # executor permanently; without this check the broken pool
+        # would poison every later job in the process.
+        pool.shutdown(wait=False, cancel_futures=True)
+        _POOLS.pop(workers, None)
+        pool = None
     if pool is None:
         pool = ProcessPoolExecutor(max_workers=workers)
         _POOLS[workers] = pool
     return pool
+
+
+def _discard_pool(workers: int) -> None:
+    """Drop (and shut down) the shared pool for a worker count."""
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def shutdown_pools() -> None:
@@ -72,13 +102,60 @@ atexit.register(shutdown_pools)
 
 @dataclass(slots=True)
 class JobStats:
-    """Counters of one job execution (merged across workers)."""
+    """Counters of one job execution (merged across workers).
+
+    The retry counters (``attempts`` onward) are populated only on the
+    guarded dispatch path — a job run without a retry policy or fault
+    plan leaves them at zero.
+    """
 
     input_records: int = 0
     map_output_records: int = 0
     combine_output_records: int = 0
     reduce_groups: int = 0
     output_records: int = 0
+    # Guarded-path counters:
+    attempts: int = 0
+    retries: int = 0
+    timed_out_tasks: int = 0
+    poisoned_records: int = 0
+
+
+@dataclass(slots=True)
+class RetryPolicy:
+    """How a guarded job retries failed map/reduce tasks.
+
+    ``backoff(n)`` is a deterministic exponential:
+    ``backoff_base * 2**n`` seconds before the (n+2)-th attempt.  Both
+    ``sleep`` and ``clock`` are injectable so chaos tests measure and
+    wait in fake time.  ``timeout`` bounds one task's measured duration
+    (real wall time plus any injected slow-call seconds); a breach
+    counts in ``JobStats.timed_out_tasks`` and is retried like a crash.
+    With ``resplit_poison`` a partition that fails every attempt is
+    re-split into single-record tasks: records that still fail are
+    dropped and counted in ``JobStats.poisoned_records`` instead of
+    sinking the job (reduce chunks re-split into single key-groups the
+    same way).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    timeout: float | None = None
+    resplit_poison: bool = False
+    sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.perf_counter
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ReproError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise ReproError("backoff_base must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ReproError("timeout must be positive")
+
+    def backoff(self, retry_number: int) -> float:
+        """Seconds to wait before retry ``retry_number`` (0-based)."""
+        return self.backoff_base * (2.0 ** retry_number)
 
 
 def _map_partition(
@@ -141,6 +218,18 @@ class MapReduceJob(Generic[K, V]):
     max_workers:
         Worker-process count for the process executor (default: the
         machine's CPU count).
+    retry:
+        Optional :class:`RetryPolicy`.  Setting it (or ``fault_plan``)
+        moves the job onto the guarded dispatch path: per-task retries
+        with deterministic backoff, deadline checks, broken-pool
+        recovery and poison isolation.  Task failures then surface as
+        :class:`~repro.errors.RetryExhaustedError` once the attempt
+        budget is spent (``retry=None`` with a fault plan means a
+        budget of one attempt — "retries disabled").
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` hooked into the map
+        and reduce task wrappers (scopes ``"map"``/``"reduce"``,
+        indexed by partition/chunk) for deterministic chaos testing.
     """
 
     def __init__(
@@ -152,6 +241,8 @@ class MapReduceJob(Generic[K, V]):
         partitions: int = 4,
         executor: str = "serial",
         max_workers: int | None = None,
+        retry: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if partitions < 1:
             raise ReproError("partitions must be >= 1")
@@ -167,7 +258,10 @@ class MapReduceJob(Generic[K, V]):
         self.partitions = partitions
         self.executor = executor
         self.max_workers = max_workers
+        self.retry = retry
+        self.fault_plan = fault_plan
         self.stats = JobStats()
+        self._active_pool: ProcessPoolExecutor | None = None
 
     # ------------------------------------------------------------------
     def run(self, records: Iterable[Any]) -> list[Any]:
@@ -175,14 +269,36 @@ class MapReduceJob(Generic[K, V]):
         self.stats = JobStats()
         partitions = self._split(records)
         parallel = self.executor == "process"
+        guarded = self.retry is not None or self.fault_plan is not None
+        pool = None
         if parallel:
             self._check_picklable()
             pool = _shared_pool(self._worker_count())
+        self._active_pool = pool
+        try:
+            return self._execute(partitions, guarded)
+        finally:
+            self._active_pool = None
 
+    def _execute(
+        self, partitions: list[list[Any]], guarded: bool
+    ) -> list[Any]:
+        pool = self._active_pool
         # Map (+ optional combine) per partition; partition results are
         # merged in partition order, making the shuffle independent of
         # worker scheduling.
-        if parallel:
+        if guarded:
+            partition_results = self._run_guarded(
+                _GuardedTask(
+                    _MapTask(self.mapper, self.combiner),
+                    "map",
+                    self.fault_plan,
+                ),
+                partitions,
+                scope="map",
+                resplit=_merge_partition_results,
+            )
+        elif pool is not None:
             chunksize = max(1, len(partitions) // (self._worker_count() * 4))
             partition_results = list(
                 pool.map(
@@ -198,9 +314,10 @@ class MapReduceJob(Generic[K, V]):
             ]
 
         shuffled: dict[K, list[V]] = {}
-        for groups, input_records, map_output, combine_output in (
-            partition_results
-        ):
+        for result in partition_results:
+            if result is None:
+                continue  # fully-poisoned partition dropped by resplit
+            groups, input_records, map_output, combine_output = result
             self.stats.input_records += input_records
             self.stats.map_output_records += map_output
             self.stats.combine_output_records += combine_output
@@ -211,9 +328,26 @@ class MapReduceJob(Generic[K, V]):
         keys = sorted(shuffled, key=repr)
         self.stats.reduce_groups = len(keys)
         output: list[Any] = []
-        if parallel and keys:
+        if guarded and keys:
+            # Both executors reduce in chunks on the guarded path so a
+            # retried task has the same granularity either way.
             group_chunks = self._chunk_groups(keys, shuffled)
-            for chunk_output in pool.map(
+            chunk_outputs = self._run_guarded(
+                _GuardedTask(
+                    _ReduceTask(self.reducer), "reduce", self.fault_plan
+                ),
+                group_chunks,
+                scope="reduce",
+                resplit=_merge_chunk_outputs,
+            )
+            for chunk_output in chunk_outputs:
+                if chunk_output is None:
+                    continue
+                for group_output in chunk_output:
+                    output.extend(group_output)
+        elif self._active_pool is not None and keys:
+            group_chunks = self._chunk_groups(keys, shuffled)
+            for chunk_output in self._active_pool.map(
                 _ReduceTask(self.reducer), group_chunks
             ):
                 for group_output in chunk_output:
@@ -223,6 +357,138 @@ class MapReduceJob(Generic[K, V]):
                 output.extend(self.reducer(key, shuffled[key]))
         self.stats.output_records = len(output)
         return output
+
+    # ------------------------------------------------------------------
+    # Guarded dispatch: retries, deadlines, broken-pool recovery and
+    # poison isolation.
+
+    def _run_guarded(
+        self,
+        task: "_GuardedTask",
+        payloads: list[list[Any]],
+        *,
+        scope: str,
+        resplit: Callable[[list[Any]], Any] | None,
+        allow_resplit: bool = True,
+    ) -> list[Any]:
+        """Run one payload per task with the effective retry policy.
+
+        Returns results aligned with ``payloads``; a payload whose
+        every record/group is poison yields ``None`` (dropped).  All
+        tasks start together, so pending tasks share one attempt
+        counter and one deterministic backoff schedule.
+        """
+        policy = self.retry or _SINGLE_ATTEMPT
+        results: list[Any] = [None] * len(payloads)
+        pending = list(range(len(payloads)))
+        attempt = 0
+        while pending:
+            futures = {}
+            if self._active_pool is not None:
+                for index in pending:
+                    futures[index] = self._submit(
+                        task, index, attempt, payloads[index]
+                    )
+            failed: list[tuple[int, Exception]] = []
+            for index in pending:
+                self.stats.attempts += 1
+                try:
+                    if self._active_pool is not None:
+                        result, seconds = futures[index].result()
+                    else:
+                        result, seconds = task(
+                            (index, attempt, payloads[index])
+                        )
+                    if (
+                        policy.timeout is not None
+                        and seconds > policy.timeout
+                    ):
+                        self.stats.timed_out_tasks += 1
+                        raise StageTimeoutError(
+                            f"{scope} task {index} ran {seconds:.3f}s, "
+                            f"deadline {policy.timeout}s"
+                        )
+                    results[index] = result
+                except BrokenProcessPool as exc:
+                    self._refresh_pool()
+                    failed.append((index, exc))
+                except Exception as exc:
+                    failed.append((index, exc))
+            if not failed:
+                break
+            attempt += 1
+            if attempt >= policy.max_attempts:
+                for index, exc in failed:
+                    if (
+                        allow_resplit
+                        and resplit is not None
+                        and policy.resplit_poison
+                        and len(payloads[index]) > 1
+                    ):
+                        results[index] = self._isolate_poison(
+                            task, payloads[index], scope, resplit
+                        )
+                    else:
+                        raise RetryExhaustedError(
+                            f"{scope} task {index} failed after "
+                            f"{attempt} attempt(s): {exc!r}"
+                        ) from exc
+                break
+            self.stats.retries += len(failed)
+            policy.sleep(policy.backoff(attempt - 1))
+            pending = [index for index, _exc in failed]
+        return results
+
+    def _isolate_poison(
+        self,
+        task: "_GuardedTask",
+        payload: list[Any],
+        scope: str,
+        resplit: Callable[[list[Any]], Any],
+    ):
+        """Re-split an exhausted payload into single-element tasks.
+
+        Elements that still fail every attempt are dropped and counted
+        in ``JobStats.poisoned_records``; survivors are merged back in
+        their original order, so output order matches an unfaulted run
+        minus the poison.  Returns None when nothing survived.
+        """
+        survivors: list[Any] = []
+        for element in payload:
+            try:
+                sub_results = self._run_guarded(
+                    task,
+                    [[element]],
+                    scope=f"{scope}.resplit",
+                    resplit=None,
+                    allow_resplit=False,
+                )
+                survivors.append(sub_results[0])
+            except RetryExhaustedError:
+                self.stats.poisoned_records += 1
+        if not survivors:
+            return None
+        return resplit(survivors)
+
+    def _submit(self, task, index: int, attempt: int, payload):
+        """Submit one guarded task, recreating a broken pool on demand."""
+        try:
+            return self._active_pool.submit(
+                task, (index, attempt, payload)
+            )
+        except (BrokenProcessPool, RuntimeError):
+            # Submitting to a pool that broke (or was shut down) mid-run
+            # raises immediately; refresh once and resubmit.
+            self._refresh_pool()
+            return self._active_pool.submit(
+                task, (index, attempt, payload)
+            )
+
+    def _refresh_pool(self) -> None:
+        if self._active_pool is None:
+            return
+        _discard_pool(self._worker_count())
+        self._active_pool = _shared_pool(self._worker_count())
 
     # ------------------------------------------------------------------
     def _worker_count(self) -> int:
@@ -283,6 +549,66 @@ class _ReduceTask:
 
     def __call__(self, groups: list[tuple[Any, list[Any]]]):
         return _reduce_chunk(self.reducer, groups)
+
+
+class _GuardedTask:
+    """Guarded-path task wrapper: fault hooks plus duration measurement.
+
+    Called with ``(index, attempt, payload)`` so the fault plan can
+    address tasks deterministically; returns ``(result, seconds)``
+    where seconds include any injected slow-call time.  Picklable for
+    the process executor (the plan rides along read-only).
+    """
+
+    __slots__ = ("task", "scope", "plan")
+
+    def __init__(
+        self, task, scope: str, plan: FaultPlan | None
+    ) -> None:
+        self.task = task
+        self.scope = scope
+        self.plan = plan
+
+    def __call__(self, spec: tuple[int, int, Any]):
+        index, attempt, payload = spec
+        extra = 0.0
+        if self.plan is not None:
+            extra = self.plan.task_delay(self.scope, index, attempt)
+        started = time.perf_counter()
+        result = self.task(payload)
+        return result, time.perf_counter() - started + extra
+
+
+# "Retries disabled": the guarded path with a one-attempt budget, used
+# when a fault plan is set without a retry policy.
+_SINGLE_ATTEMPT = RetryPolicy(max_attempts=1, backoff_base=0.0)
+
+
+def _merge_partition_results(survivors: list[Any]):
+    """Merge single-record map results back into one partition result.
+
+    Groups are concatenated per key in first-emission order (the same
+    order ``_map_partition`` would have produced for the surviving
+    records) and counters are summed.
+    """
+    merged: dict[Any, list[Any]] = {}
+    input_records = map_output = combine_output = 0
+    for groups, sub_inputs, sub_map, sub_combine in survivors:
+        input_records += sub_inputs
+        map_output += sub_map
+        combine_output += sub_combine
+        for key, values in groups:
+            merged.setdefault(key, []).extend(values)
+    return list(merged.items()), input_records, map_output, combine_output
+
+
+def _merge_chunk_outputs(survivors: list[Any]):
+    """Merge single-group reduce results back into one chunk output."""
+    return [
+        group_output
+        for chunk_output in survivors
+        for group_output in chunk_output
+    ]
 
 
 @dataclass(slots=True)

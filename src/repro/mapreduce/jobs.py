@@ -25,8 +25,9 @@ from __future__ import annotations
 import functools
 import math
 
+from repro.faults import FaultPlan
 from repro.fusion.base import Claim, ClaimSet, FusionResult, Item
-from repro.mapreduce.engine import MapReduceJob
+from repro.mapreduce.engine import MapReduceJob, RetryPolicy
 
 
 def _vote_mapper(claim: Claim):
@@ -51,6 +52,8 @@ def mr_vote(
     partitions: int = 4,
     executor: str = "serial",
     max_workers: int | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> FusionResult:
     """VOTE as a single MapReduce job."""
     job: MapReduceJob = MapReduceJob(
@@ -59,6 +62,8 @@ def mr_vote(
         partitions=partitions,
         executor=executor,
         max_workers=max_workers,
+        retry=retry,
+        fault_plan=fault_plan,
     )
     result = FusionResult("mr-vote")
     for item, winner, scores in job.run(claims):
@@ -127,6 +132,8 @@ def mr_accu(
     max_accuracy: float = 0.99,
     executor: str = "serial",
     max_workers: int | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> FusionResult:
     """ACCU as alternating MapReduce rounds.
 
@@ -159,6 +166,8 @@ def mr_accu(
             partitions=partitions,
             executor=executor,
             max_workers=max_workers,
+            retry=retry,
+            fault_plan=fault_plan,
         )
         scored = score_job.run(claim_list)
 
@@ -173,6 +182,8 @@ def mr_accu(
             partitions=partitions,
             executor=executor,
             max_workers=max_workers,
+            retry=retry,
+            fault_plan=fault_plan,
         )
         new_accuracy = {
             source: min(max(value, min_accuracy), max_accuracy)

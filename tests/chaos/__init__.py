@@ -1,0 +1,8 @@
+"""Chaos tests: deterministic fault injection against the real stack.
+
+Every test here drives the actual engine/pipeline code paths under a
+seeded :class:`repro.faults.FaultPlan` — injected crashes, fake-time
+slow calls and corrupted records — and asserts the fault-tolerance
+contract: with retries and quarantine enabled, output is byte-identical
+to a fault-free run; without them, failures surface loudly.
+"""

@@ -1,0 +1,250 @@
+"""Chaos tests for the end-to-end pipeline's fault-tolerance layer.
+
+The acceptance contract, verified against a real (small) world:
+
+* a seeded fault plan with a map-partition crash and a corrupted input
+  record, run with retries + quarantine enabled, completes with output
+  byte-identical to the fault-free run;
+* the same plan with retries disabled raises RetryExhaustedError;
+* a crashed extractor degrades its source and fusion proceeds with the
+  rest — unless fewer than ``min_sources`` survive (PipelineError);
+* a run that crashes mid-pipeline resumes from its checkpoints,
+  skipping completed stages, with identical fused output; a changed
+  seed invalidates the checkpoints.
+
+The corrupted record targets a noise query (``gold_class is None``), so
+quarantining it must not change a single claim — which is exactly what
+makes byte-identity checkable.
+"""
+
+import pytest
+
+from repro.core.pipeline import (
+    KnowledgeBaseConstructionPipeline,
+    PipelineConfig,
+)
+from repro.errors import PipelineError, RetryExhaustedError
+from repro.faults import FaultPlan, InjectedFault
+from repro.mapreduce.engine import RetryPolicy
+from repro.synth.querylog import QueryLogConfig, generate_query_log
+from repro.synth.websites import WebsiteConfig
+from repro.synth.webtext import WebTextConfig
+from repro.synth.world import WorldConfig
+
+
+def _config(**overrides) -> PipelineConfig:
+    return PipelineConfig(
+        world=WorldConfig(
+            entities_per_class={
+                "Book": 15, "Film": 15, "Country": 12,
+                "University": 12, "Hotel": 10,
+            }
+        ),
+        querylog=QueryLogConfig(seed=17, scale=0.0005),
+        websites=WebsiteConfig(sites_per_class=2, pages_per_site=6),
+        webtext=WebTextConfig(sources_per_class=2, documents_per_source=6),
+        **overrides,
+    )
+
+
+def _claim_signature(pipeline):
+    return sorted(
+        (claim.item, claim.value, claim.source_id, claim.extractor_id,
+         claim.confidence)
+        for claim in pipeline.claims
+    )
+
+
+def _fused_signature(report):
+    result = report.fusion_result
+    return (
+        {item: sorted(values) for item, values in result.truths.items()},
+        result.belief,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    pipeline = KnowledgeBaseConstructionPipeline(_config())
+    report = pipeline.run()
+    return pipeline, report
+
+
+@pytest.fixture(scope="module")
+def noise_record_index(baseline):
+    """Index of the first noise query record (contributes no claims)."""
+    pipeline, _ = baseline
+    log = generate_query_log(pipeline.world, _config().querylog)
+    return next(
+        i for i, record in enumerate(log) if record.gold_class is None
+    )
+
+
+def _chaos_plan(noise_index: int) -> FaultPlan:
+    # >= 1 map-partition crash (transient, in the sharded-fusion job)
+    # and >= 1 corrupted input record, per the acceptance scenario.
+    return (
+        FaultPlan(seed=11)
+        .corrupt("records:querystream", index=noise_index)
+        .crash("map", index=0, attempts=1)
+    )
+
+
+class TestByteIdenticalChaosRun:
+    @pytest.fixture(scope="class")
+    def chaotic(self, noise_record_index):
+        config = _config(
+            fault_plan=_chaos_plan(noise_record_index),
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            fusion_parallelism=2,
+            fusion_executor="serial",
+        )
+        pipeline = KnowledgeBaseConstructionPipeline(config)
+        report = pipeline.run()
+        return pipeline, report
+
+    def test_output_is_byte_identical_to_fault_free_run(
+        self, baseline, chaotic
+    ):
+        base_pipeline, base_report = baseline
+        chaos_pipeline, chaos_report = chaotic
+        assert _claim_signature(chaos_pipeline) == _claim_signature(
+            base_pipeline
+        )
+        assert _fused_signature(chaos_report) == _fused_signature(
+            base_report
+        )
+
+    def test_faults_were_actually_exercised(self, chaotic):
+        _, report = chaotic
+        health = report.health
+        assert health.quarantined["total"] == 1
+        assert health.quarantined["counts"] == {"querystream": 1}
+        assert health.retry["retries"] >= 1
+        assert health.status == "ok"  # no stage degraded, just retried
+
+    def test_same_seed_chaos_runs_are_identical(
+        self, chaotic, noise_record_index
+    ):
+        # Determinism double-run: a second run under the same fault
+        # plan reproduces the deterministic report subset exactly.
+        config = _config(
+            fault_plan=_chaos_plan(noise_record_index),
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            fusion_parallelism=2,
+            fusion_executor="serial",
+        )
+        rerun = KnowledgeBaseConstructionPipeline(config)
+        rerun_report = rerun.run()
+        first_pipeline, first_report = chaotic
+        assert _claim_signature(rerun) == _claim_signature(first_pipeline)
+        first_json = first_report.to_json_dict()
+        rerun_json = rerun_report.to_json_dict()
+        for key in (
+            "seed_sizes", "attribute_counts", "triple_counts",
+            "fused_items", "health",
+        ):
+            assert rerun_json[key] == first_json[key]
+
+    def test_same_plan_without_retries_is_fatal(self, noise_record_index):
+        config = _config(
+            fault_plan=_chaos_plan(noise_record_index),
+            fusion_parallelism=2,
+            fusion_executor="serial",
+        )
+        with pytest.raises(RetryExhaustedError):
+            KnowledgeBaseConstructionPipeline(config).run()
+
+
+class TestGracefulDegradation:
+    def test_crashed_extractor_degrades_and_fusion_continues(self):
+        plan = FaultPlan(seed=7).crash(
+            "stage:webtext-extraction", attempts=0
+        )
+        pipeline = KnowledgeBaseConstructionPipeline(
+            _config(fault_plan=plan)
+        )
+        report = pipeline.run()
+        health = report.health
+        assert health.status == "degraded"
+        assert "webtext-extraction" in health.degraded
+        assert health.active_sources == ["dom", "kb", "querystream"]
+        assert report.fusion_result is not None
+        assert report.fusion_report is not None
+        assert "webtext" not in report.triple_counts
+
+    def test_slow_stage_times_out_deterministically(self):
+        # 99 injected seconds against a 5s deadline — degraded via the
+        # reported duration, without any real waiting.
+        plan = FaultPlan(seed=7).slow(
+            "stage:dom-extraction", seconds=99.0, attempts=0
+        )
+        pipeline = KnowledgeBaseConstructionPipeline(
+            _config(fault_plan=plan, stage_timeout=5.0)
+        )
+        report = pipeline.run()
+        assert "dom-extraction" in report.health.degraded
+        assert "StageTimeoutError" in report.health.degraded[
+            "dom-extraction"
+        ]
+
+    def test_below_min_sources_floor_raises(self):
+        plan = (
+            FaultPlan(seed=7)
+            .crash("stage:kb-extraction", attempts=0)
+            .crash("stage:query-stream", attempts=0)
+            .crash("stage:dom-extraction", attempts=0)
+        )
+        config = _config(fault_plan=plan, min_sources=2)
+        with pytest.raises(PipelineError, match="min_sources"):
+            KnowledgeBaseConstructionPipeline(config).run()
+
+
+class TestCheckpointResume:
+    def test_resume_after_mid_pipeline_crash_skips_stages(
+        self, baseline, tmp_path
+    ):
+        crash_config = _config(
+            fault_plan=FaultPlan(seed=3).crash("stage:fusion", attempts=0),
+            checkpoint_dir=str(tmp_path),
+        )
+        with pytest.raises(InjectedFault):
+            KnowledgeBaseConstructionPipeline(crash_config).run()
+
+        resumed = KnowledgeBaseConstructionPipeline(
+            _config(checkpoint_dir=str(tmp_path))
+        )
+        report = resumed.run(resume=True)
+        assert report.health.resumed_stages == ["extraction", "claims"]
+        # Extraction stages were skipped: no extraction timings.
+        assert [t.stage for t in report.timings] == [
+            "fusion", "evaluation", "augmentation",
+        ]
+        base_pipeline, base_report = baseline
+        assert _claim_signature(resumed) == _claim_signature(base_pipeline)
+        assert _fused_signature(report) == _fused_signature(base_report)
+
+    def test_changed_seed_invalidates_checkpoints(self, tmp_path):
+        first = _config(checkpoint_dir=str(tmp_path))
+        KnowledgeBaseConstructionPipeline(first).run()
+
+        reseeded = _config(checkpoint_dir=str(tmp_path))
+        reseeded.world = WorldConfig(
+            seed=99,
+            entities_per_class={
+                "Book": 15, "Film": 15, "Country": 12,
+                "University": 12, "Hotel": 10,
+            },
+        )
+        report = KnowledgeBaseConstructionPipeline(reseeded).run(
+            resume=True
+        )
+        assert report.health.resumed_stages == []
+
+    def test_degraded_runs_never_write_checkpoints(self, tmp_path):
+        plan = FaultPlan(seed=7).crash(
+            "stage:webtext-extraction", attempts=0
+        )
+        config = _config(fault_plan=plan, checkpoint_dir=str(tmp_path))
+        KnowledgeBaseConstructionPipeline(config).run()
+        assert list(tmp_path.iterdir()) == []

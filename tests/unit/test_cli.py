@@ -22,6 +22,28 @@ class TestParser:
         assert args.seed == 7
         assert not args.discover_entities
 
+    def test_pipeline_fault_tolerance_defaults(self):
+        args = build_parser().parse_args(["pipeline"])
+        assert args.retries == 0
+        assert args.stage_timeout is None
+        assert args.min_sources == 1
+        assert args.checkpoint_dir is None
+        assert not args.resume
+
+    def test_pipeline_fault_tolerance_flags(self):
+        args = build_parser().parse_args(
+            [
+                "pipeline", "--retries", "3", "--stage-timeout", "30",
+                "--min-sources", "2", "--checkpoint-dir", "/tmp/ckpt",
+                "--resume",
+            ]
+        )
+        assert args.retries == 3
+        assert args.stage_timeout == 30.0
+        assert args.min_sources == 2
+        assert args.checkpoint_dir == "/tmp/ckpt"
+        assert args.resume
+
     def test_fusion_demo_scenarios(self):
         args = build_parser().parse_args(
             ["fusion-demo", "--scenario", "multi-truth"]

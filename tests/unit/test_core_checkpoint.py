@@ -1,0 +1,78 @@
+"""Unit tests for the fingerprinted checkpoint store."""
+
+from repro.core.checkpoint import (
+    CHECKPOINT_STAGES,
+    CheckpointStore,
+    config_fingerprint,
+)
+from repro.core.pipeline import PipelineConfig
+from repro.faults import FaultPlan
+from repro.mapreduce.engine import RetryPolicy
+from repro.synth.world import WorldConfig
+
+
+class TestConfigFingerprint:
+    def test_identical_configs_share_a_fingerprint(self):
+        assert config_fingerprint(PipelineConfig()) == config_fingerprint(
+            PipelineConfig()
+        )
+
+    def test_changed_seed_changes_the_fingerprint(self):
+        base = PipelineConfig()
+        reseeded = PipelineConfig(world=WorldConfig(seed=999))
+        assert config_fingerprint(base) != config_fingerprint(reseeded)
+
+    def test_changed_extraction_toggle_changes_the_fingerprint(self):
+        base = PipelineConfig()
+        toggled = PipelineConfig(discover_new_entities=True)
+        assert config_fingerprint(base) != config_fingerprint(toggled)
+
+    def test_execution_knobs_do_not_change_the_fingerprint(self):
+        # A run interrupted by an injected fault (or run with different
+        # parallelism) must be resumable by a clean config.
+        base = PipelineConfig()
+        execution_only = PipelineConfig(
+            parallelism=4,
+            fusion_parallelism=2,
+            retry=RetryPolicy(max_attempts=5),
+            fault_plan=FaultPlan(seed=1).crash("stage:fusion"),
+            checkpoint_dir="/tmp/somewhere",
+            stage_timeout=30.0,
+            min_sources=2,
+        )
+        assert config_fingerprint(base) == config_fingerprint(execution_only)
+
+
+class TestCheckpointStore:
+    def test_save_then_load_round_trips(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp-1")
+        payload = {"numbers": [1, 2, 3], "name": "extraction"}
+        store.save("extraction", payload)
+        assert store.load("extraction") == payload
+
+    def test_missing_stage_loads_none(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp-1")
+        assert store.load("claims") is None
+
+    def test_fingerprint_mismatch_is_treated_as_absent(self, tmp_path):
+        CheckpointStore(tmp_path, "fp-old").save("extraction", {"x": 1})
+        assert CheckpointStore(tmp_path, "fp-new").load("extraction") is None
+
+    def test_corrupt_file_is_treated_as_absent(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp-1")
+        store.save("extraction", {"x": 1})
+        store.path("extraction").write_bytes(b"\x00 not a pickle")
+        assert store.load("extraction") is None
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp-1")
+        store.save("claims", list(range(100)))
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["claims.ckpt"]
+
+    def test_clear_removes_known_stages(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp-1")
+        for stage in CHECKPOINT_STAGES:
+            store.save(stage, stage)
+        assert store.clear() == len(CHECKPOINT_STAGES)
+        assert all(store.load(stage) is None for stage in CHECKPOINT_STAGES)

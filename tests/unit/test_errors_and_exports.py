@@ -13,10 +13,21 @@ class TestErrorHierarchy:
         for name in (
             "OntologyError", "HierarchyError", "StoreError", "ParseError",
             "ExtractionError", "FusionError", "PipelineError",
-            "GenerationError",
+            "GenerationError", "RetryExhaustedError", "StageTimeoutError",
+            "QuarantineOverflowError",
         ):
             exc_type = getattr(errors, name)
             assert issubclass(exc_type, errors.ReproError)
+
+    def test_fault_tolerance_errors_documented_and_exported(self):
+        for name in (
+            "RetryExhaustedError", "StageTimeoutError",
+            "QuarantineOverflowError",
+        ):
+            exc_type = getattr(errors, name)
+            assert exc_type.__doc__, f"{name} needs a docstring"
+            assert getattr(repro, name) is exc_type
+            assert name in repro.__all__
 
     def test_base_catches_subclasses(self):
         with pytest.raises(errors.ReproError):

@@ -1,0 +1,92 @@
+"""Unit tests for the deterministic fault-injection plans."""
+
+import pickle
+
+import pytest
+
+from repro.faults import CorruptedRecord, FaultPlan, FaultSpec, InjectedFault
+
+
+class TestFaultSpec:
+    def test_transient_crash_matches_only_early_attempts(self):
+        spec = FaultSpec("crash", "map", index=1, attempts=2)
+        assert spec.matches("map", 1, 0)
+        assert spec.matches("map", 1, 1)
+        assert not spec.matches("map", 1, 2)
+
+    def test_permanent_fault_matches_every_attempt(self):
+        spec = FaultSpec("crash", "map", index=0, attempts=0)
+        assert all(spec.matches("map", 0, attempt) for attempt in range(10))
+
+    def test_index_none_matches_every_task(self):
+        spec = FaultSpec("slow", "reduce", index=None, seconds=5.0)
+        assert spec.matches("reduce", 0, 0)
+        assert spec.matches("reduce", 17, 0)
+
+    def test_scope_mismatch_never_matches(self):
+        spec = FaultSpec("crash", "map", index=0)
+        assert not spec.matches("reduce", 0, 0)
+
+
+class TestFaultPlanHooks:
+    def test_crash_raises_injected_fault(self):
+        plan = FaultPlan(seed=1).crash("map", index=2)
+        with pytest.raises(InjectedFault):
+            plan.task_delay("map", 2, 0)
+
+    def test_crash_is_transient_by_default(self):
+        plan = FaultPlan(seed=1).crash("map", index=2)
+        with pytest.raises(InjectedFault):
+            plan.task_delay("map", 2, 0)
+        assert plan.task_delay("map", 2, 1) == 0.0
+
+    def test_slow_sums_injected_seconds_without_sleeping(self):
+        plan = (
+            FaultPlan(seed=1)
+            .slow("stage:dom-extraction", seconds=30.0)
+            .slow("stage:dom-extraction", seconds=12.5)
+        )
+        assert plan.task_delay("stage:dom-extraction", 0, 0) == 42.5
+        assert plan.task_delay("stage:webtext-extraction", 0, 0) == 0.0
+
+    def test_corrupt_record_replaces_only_target_index(self):
+        plan = FaultPlan(seed=5).corrupt("records:querystream", index=3)
+        clean = plan.corrupt_record("records:querystream", 2, "fine")
+        corrupted = plan.corrupt_record("records:querystream", 3, "doomed")
+        assert clean == "fine"
+        assert isinstance(corrupted, CorruptedRecord)
+        assert corrupted.original_repr == "'doomed'"
+
+    def test_corruption_garbage_is_seeded_and_deterministic(self):
+        first = FaultPlan(seed=5).corrupt("records:dom", index=1)
+        second = FaultPlan(seed=5).corrupt("records:dom", index=1)
+        other_seed = FaultPlan(seed=6).corrupt("records:dom", index=1)
+        a = first.corrupt_record("records:dom", 1, object())
+        b = second.corrupt_record("records:dom", 1, object())
+        c = other_seed.corrupt_record("records:dom", 1, object())
+        assert a.garbage == b.garbage
+        assert a.garbage != c.garbage
+
+    def test_hooks_never_mutate_the_plan(self):
+        plan = FaultPlan(seed=1).crash("map", index=0).corrupt(
+            "records:dom", index=0
+        )
+        before = list(plan.specs)
+        with pytest.raises(InjectedFault):
+            plan.task_delay("map", 0, 0)
+        plan.task_delay("map", 0, 5)
+        plan.corrupt_record("records:dom", 0, "x")
+        assert plan.specs == before
+
+    def test_plan_is_picklable(self):
+        plan = (
+            FaultPlan(seed=9)
+            .crash("map", index=0, attempts=2)
+            .slow("reduce", seconds=1.0, index=None)
+            .corrupt("records:webtext", index=4)
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.specs == plan.specs
+        assert clone.seed == plan.seed
+        with pytest.raises(InjectedFault):
+            clone.task_delay("map", 0, 1)
