@@ -317,6 +317,9 @@ def run_pipeline_section(quick: bool) -> dict:
         # Hit rates observed during the (serial) end-to-end run; the
         # tag-path cache's near-total hit rate is the DOM win.
         "extraction_cache_stats": extraction_cache_stats,
+        # The serial run's count-type metrics (the deterministic
+        # subset): reproducible run-to-run, so BENCH diffs stay clean.
+        "metrics_snapshot": serial_report.metrics.deterministic_subset(),
         "serial_pipeline": serial_pipeline,  # reused by the cache section
     }
 

@@ -33,6 +33,7 @@ from repro.errors import (
 from repro.faults import FaultPlan
 from repro.fusion.knowledge_fusion import KnowledgeFusion
 from repro.mapreduce.engine import RetryPolicy
+from repro.obs import MetricsRegistry, MetricsSnapshot, SpanTracer
 from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
 from repro.synth.world import GroundTruthWorld, WorldConfig
 
@@ -43,6 +44,8 @@ __all__ = [
     "GroundTruthWorld",
     "KnowledgeBaseConstructionPipeline",
     "KnowledgeFusion",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "PipelineConfig",
     "PipelineHealth",
     "PipelineReport",
@@ -52,6 +55,7 @@ __all__ = [
     "RetryExhaustedError",
     "RetryPolicy",
     "ScoredTriple",
+    "SpanTracer",
     "StageTimeoutError",
     "Triple",
     "Value",

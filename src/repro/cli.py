@@ -89,6 +89,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore completed stages from --checkpoint-dir instead of "
         "recomputing (stale checkpoints are ignored)",
     )
+    pipeline.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the run's metric snapshot (counters/gauges/"
+        "histograms) as JSON",
+    )
+    pipeline.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write the run's span trace tree as JSON",
+    )
 
     for name, help_text in (
         ("table1", "statistics of representative KBs"),
@@ -208,7 +217,21 @@ def _run_pipeline(args) -> int:
 
         written = dump_claims_tsv(pipeline.freebase.store, args.export)
         print(f"exported {written} claims to {args.export}")
+    if args.metrics_out:
+        _dump_json(args.metrics_out, report.metrics.to_json_dict())
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out:
+        _dump_json(args.trace_out, report.trace)
+        print(f"trace written to {args.trace_out}")
     return 0
+
+
+def _dump_json(path: str, payload: dict) -> None:
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def _run_table1(args) -> int:

@@ -34,13 +34,23 @@ depend on fusion toggles outside the fingerprint.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import pickle
+import time
 from pathlib import Path
 
 __all__ = ["CHECKPOINT_STAGES", "CheckpointStore", "config_fingerprint"]
 
 CHECKPOINT_STAGES = ("extraction", "claims")
+
+# A temp file younger than this is assumed to belong to a live writer
+# (another process mid-``save``); the save-path sweep leaves it alone.
+_STALE_TEMP_SECONDS = 60.0
+
+# Module-level so two stores in one process can never mint the same
+# ``<stage>.ckpt.<pid>.<n>.tmp`` name.
+_TEMP_SERIAL = itertools.count()
 
 # PipelineConfig fields that determine the *data* a run produces.
 _FINGERPRINT_FIELDS = (
@@ -75,50 +85,132 @@ def config_fingerprint(config: object) -> str:
 
 
 class CheckpointStore:
-    """Pickle-per-stage checkpoint directory with fingerprint checks."""
+    """Pickle-per-stage checkpoint directory with fingerprint checks.
 
-    def __init__(self, directory: str | os.PathLike, fingerprint: str) -> None:
+    Temp-file hygiene: a process dying between ``write_bytes`` and
+    ``os.replace`` orphans its temp file, so (a) temp names embed the
+    writing process's pid plus a module-wide serial — concurrent runs
+    (or two stores in one process) can never clobber each other's
+    in-flight temp file — and (b) both :meth:`save` and :meth:`clear`
+    sweep ``*.tmp`` siblings left by earlier crashes.  The save-path
+    sweep is age-gated (older than :data:`_STALE_TEMP_SECONDS` only) so
+    it cannot delete a concurrent live writer's in-flight temp out from
+    under its ``os.replace``; ``clear`` sweeps unconditionally.  Both
+    are best-effort: a concurrently-vanishing file is not an error.
+
+    ``metrics`` (optional) is a :class:`repro.obs.MetricsRegistry`;
+    when set, the store counts ``checkpoint_saves_total`` /
+    ``checkpoint_loads_total`` / ``checkpoint_stale_total`` /
+    ``checkpoint_misses_total`` (per stage) and
+    ``checkpoint_temps_swept_total``.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        fingerprint: str,
+        *,
+        metrics=None,
+    ) -> None:
         self.directory = Path(directory)
         self.fingerprint = fingerprint
+        self.metrics = metrics
 
     def path(self, stage: str) -> Path:
         return self.directory / f"{stage}.ckpt"
 
+    def _temp_path(self, stage: str) -> Path:
+        """A temp name unique across stores and processes."""
+        serial = next(_TEMP_SERIAL)
+        return self.directory / (
+            f"{stage}.ckpt.{os.getpid()}.{serial}.tmp"
+        )
+
+    def _count(self, name: str, stage: str | None = None) -> None:
+        if self.metrics is not None:
+            if stage is None:
+                self.metrics.counter(name).inc()
+            else:
+                self.metrics.counter(name, stage=stage).inc()
+
+    def sweep_temp_files(
+        self,
+        stage: str | None = None,
+        *,
+        max_age: float | None = None,
+    ) -> int:
+        """Remove orphaned ``*.tmp`` files; returns how many went away.
+
+        With ``stage`` set only that stage's temps are swept (the
+        ``save`` path); without it every checkpoint temp in the
+        directory is (the ``clear`` path).  With ``max_age`` set, temps
+        modified within the last ``max_age`` seconds are skipped — they
+        may belong to a live concurrent writer.  Covers both the
+        current ``<stage>.ckpt.<pid>.<n>.tmp`` naming and the legacy
+        ``<stage>.ckpt.tmp``.
+        """
+        pattern = f"{stage}.ckpt*.tmp" if stage else "*.ckpt*.tmp"
+        removed = 0
+        for orphan in self.directory.glob(pattern):
+            try:
+                if max_age is not None:
+                    age = time.time() - orphan.stat().st_mtime
+                    if age < max_age:
+                        continue  # possibly a live writer's temp
+                orphan.unlink()
+                removed += 1
+            except OSError:
+                pass  # already gone or held elsewhere: not our orphan
+        if removed and self.metrics is not None:
+            self.metrics.counter("checkpoint_temps_swept_total").inc(removed)
+        return removed
+
     def save(self, stage: str, payload: object) -> Path:
         """Atomically write one stage's checkpoint."""
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.sweep_temp_files(stage, max_age=_STALE_TEMP_SECONDS)
         blob = pickle.dumps(
             {"fingerprint": self.fingerprint, "stage": stage,
              "payload": payload},
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         target = self.path(stage)
-        temp = target.with_name(target.name + ".tmp")
+        temp = self._temp_path(stage)
         temp.write_bytes(blob)
         os.replace(temp, target)
+        self._count("checkpoint_saves_total", stage)
         return target
 
     def load(self, stage: str):
         """Return the stage payload, or None if missing/stale/unreadable."""
         target = self.path(stage)
         if not target.exists():
+            self._count("checkpoint_misses_total", stage)
             return None
         try:
             envelope = pickle.loads(target.read_bytes())
         except Exception:
+            self._count("checkpoint_misses_total", stage)
             return None  # truncated or foreign file: treat as absent
         if not isinstance(envelope, dict):
+            self._count("checkpoint_misses_total", stage)
             return None
         if envelope.get("fingerprint") != self.fingerprint:
+            self._count("checkpoint_stale_total", stage)
             return None  # stale: produced by a different config/seed
+        self._count("checkpoint_loads_total", stage)
         return envelope.get("payload")
 
     def clear(self) -> int:
-        """Delete every checkpoint file; returns how many were removed."""
+        """Delete every checkpoint (and orphaned temp) file.
+
+        Returns how many files were removed, temps included.
+        """
         removed = 0
         for stage in CHECKPOINT_STAGES:
             target = self.path(stage)
             if target.exists():
                 target.unlink()
                 removed += 1
+        removed += self.sweep_temp_files()
         return removed

@@ -80,6 +80,8 @@ from repro.core.checkpoint import CheckpointStore, config_fingerprint
 from repro.core.quarantine import Quarantine, guard_records
 from repro.errors import PipelineError, StageTimeoutError
 from repro.faults import FaultPlan
+from repro.obs import MetricsRegistry, MetricsSnapshot, SpanTracer
+from repro.textproc.memo import clear_similarity_caches, publish_cache_metrics
 from repro.core.confidence import ConfidenceConfig, ConfidenceScorer
 from repro.entity.discovery import (
     JointEntityResolver,
@@ -266,9 +268,29 @@ class PipelineReport:
     fusion_shards: dict = field(default_factory=dict)
     # Degradation / quarantine / retry / resume accounting.
     health: PipelineHealth = field(default_factory=PipelineHealth)
+    # True end-to-end wall clock of run(), measured around the whole
+    # thing.  Never the sum of stage timings: stages overlap under a
+    # concurrent stage_executor, so that sum double-counts.
+    wall_seconds: float = 0.0
+    # Metric snapshot of the run (counters/gauges/histograms across
+    # every instrumented layer); None only on hand-built reports.
+    metrics: MetricsSnapshot | None = None
+    # JSON span-trace tree of the run (repro.obs.trace shape).
+    trace: dict | None = None
+
+    def cumulative_stage_seconds(self) -> float:
+        """Summed per-stage work seconds (stages may overlap in time)."""
+        return sum(timing.seconds for timing in self.timings)
 
     def total_seconds(self) -> float:
-        return sum(timing.seconds for timing in self.timings)
+        """True end-to-end seconds of the run.
+
+        ``run()`` measures the wall clock around the whole run; the
+        per-stage sum is only a fallback for hand-built reports,
+        because concurrent extraction stages overlap and the sum
+        double-counts their shared wall time.
+        """
+        return self.wall_seconds or self.cumulative_stage_seconds()
 
     def to_json_dict(self) -> dict:
         """JSON-serializable report summary (``json.dumps``-ready).
@@ -295,6 +317,8 @@ class PipelineReport:
             },
             "triple_counts": dict(sorted(self.triple_counts.items())),
             "extraction_wall": dict(self.extraction_wall),
+            "wall_seconds": self.wall_seconds,
+            "cumulative_stage_seconds": self.cumulative_stage_seconds(),
             "fusion_wall": self.fusion_wall,
             "fusion_shards": dict(self.fusion_shards),
             "fused_items": (
@@ -438,10 +462,47 @@ class KnowledgeBaseConstructionPipeline:
         self.seeds: dict[str, SeedSet] = {}
         self.claims: ClaimSet | None = None
         self.quarantine = Quarantine(capacity=self.config.quarantine_capacity)
+        # Observability: one registry/tracer pair per run (rebuilt at the
+        # top of run()); the report of the most recent run — even one
+        # that died mid-stage — stays reachable for debugging.
+        self.metrics = MetricsRegistry()
+        self.tracer = SpanTracer()
+        self.last_report: PipelineReport | None = None
 
     # ------------------------------------------------------------------
     def run(self, resume: bool = False) -> PipelineReport:
+        """Run the whole framework; returns the (instrumented) report.
+
+        Every run starts from cold similarity caches (cleared here), so
+        the cache metrics published into ``report.metrics`` are per-run
+        values and count-type metrics stay byte-identical across
+        same-seed runs.  The report is assigned to ``last_report``
+        before any stage runs, so a run that dies mid-stage still
+        leaves its partial timings, metrics and trace inspectable.
+        """
         report = PipelineReport()
+        self.last_report = report
+        self.metrics = MetricsRegistry()
+        self.tracer = SpanTracer()
+        clear_similarity_caches()
+        self.metrics.counter("pipeline_runs_total").inc()
+        self.metrics.counter("quarantine_records_total")  # always present
+        run_started = time.perf_counter()
+        root = self.tracer.span("pipeline")
+        try:
+            self._run_phases(report, resume)
+            root.end()
+        except BaseException:
+            root.end(failed=True)
+            raise
+        finally:
+            report.wall_seconds = time.perf_counter() - run_started
+            publish_cache_metrics(self.metrics)
+            report.metrics = self.metrics.snapshot()
+            report.trace = self.tracer.to_json_dict()
+        return report
+
+    def _run_phases(self, report: PipelineReport, resume: bool) -> None:
         world = self.world
         cfg = self.config
         self._validate_config()
@@ -452,7 +513,8 @@ class KnowledgeBaseConstructionPipeline:
         store = None
         if cfg.checkpoint_dir is not None:
             store = CheckpointStore(
-                cfg.checkpoint_dir, config_fingerprint(cfg)
+                cfg.checkpoint_dir, config_fingerprint(cfg),
+                metrics=self.metrics,
             )
 
         restored = (
@@ -485,6 +547,14 @@ class KnowledgeBaseConstructionPipeline:
 
         health.quarantined = self.quarantine.to_dict()
         health.active_sources = sorted(self.outputs)
+        for source, count in sorted(self.quarantine.counts.items()):
+            self.metrics.counter(
+                "quarantine_diverted_total", source=source
+            ).inc(count)
+        self.metrics.counter("quarantine_records_total").inc(
+            self.quarantine.total
+        )
+        self.metrics.gauge("pipeline_active_sources").set(len(self.outputs))
         if len(self.outputs) < cfg.min_sources:
             raise PipelineError(
                 f"only {len(self.outputs)} extraction source(s) healthy "
@@ -510,7 +580,7 @@ class KnowledgeBaseConstructionPipeline:
 
             # -- 5b. Joint entity linking + discovery ----------------------
             if cfg.discover_new_entities:
-                with _timed(report, "entity-resolution") as timing:
+                with self._stage_timer(report, "entity-resolution") as timing:
                     self._check_fatal_fault("entity-resolution")
                     resolver = JointEntityResolver(
                         EntityLinker(self.entity_index)
@@ -526,13 +596,13 @@ class KnowledgeBaseConstructionPipeline:
 
             # -- 6. Attribute resolution ----------------------------------
             if cfg.resolve_attributes:
-                with _timed(report, "attribute-resolution") as timing:
+                with self._stage_timer(report, "attribute-resolution") as timing:
                     self._check_fatal_fault("attribute-resolution")
                     all_triples = self._resolve_attributes(all_triples)
                     timing.detail = f"{len(all_triples)} claims"
 
             # -- 7. Confidence scoring ------------------------------------
-            with _timed(report, "confidence") as timing:
+            with self._stage_timer(report, "confidence") as timing:
                 self._check_fatal_fault("confidence")
                 scorer = ConfidenceScorer(cfg.confidence)
                 all_triples = scorer.score_batch(all_triples)
@@ -558,9 +628,12 @@ class KnowledgeBaseConstructionPipeline:
                 for class_name in world.classes()
             }
             report.triple_counts[extractor_id] = len(output.triples)
+            self.metrics.counter(
+                "extraction_claims_total", extractor=extractor_id
+            ).inc(len(output.triples))
 
         # -- 8. Fusion -----------------------------------------------------
-        with _timed(report, "fusion") as timing:
+        with self._stage_timer(report, "fusion") as timing:
             self._check_fatal_fault("fusion")
             self.claims = ClaimSet.from_scored_triples(all_triples)
             if cfg.functionality_source == "estimated":
@@ -586,10 +659,12 @@ class KnowledgeBaseConstructionPipeline:
                 fusion_executor=cfg.fusion_executor,
                 retry=cfg.retry,
                 fault_plan=cfg.fault_plan,
+                metrics=self.metrics,
             )
             fuse_started = time.perf_counter()
             result = fusion.fuse(self.claims)
             report.fusion_wall = time.perf_counter() - fuse_started
+            self._publish_fusion_metrics(report, result, fusion)
             shard_stats = fusion.last_shard_stats
             if shard_stats is not None:
                 report.fusion_shards = {
@@ -611,7 +686,7 @@ class KnowledgeBaseConstructionPipeline:
             )
 
         # -- 9. Evaluation --------------------------------------------------
-        with _timed(report, "evaluation"):
+        with self._stage_timer(report, "evaluation"):
             self._check_fatal_fault("evaluation")
             evaluated = result
             if report.entity_resolution is not None:
@@ -630,7 +705,7 @@ class KnowledgeBaseConstructionPipeline:
             report.fusion_report = evaluate_fusion(world, evaluated)
 
         # -- 10. Augmentation ------------------------------------------------
-        with _timed(report, "augmentation") as timing:
+        with self._stage_timer(report, "augmentation") as timing:
             self._check_fatal_fault("augmentation")
             if self.freebase is None:
                 # The KB stage degraded away: there is no snapshot to
@@ -658,7 +733,6 @@ class KnowledgeBaseConstructionPipeline:
                     f"{report.augmentation.total_new_attributes()} attributes, "
                     f"{report.augmentation.new_entities} entities"
                 )
-        return report
 
     # ------------------------------------------------------------------
     def _validate_config(self) -> None:
@@ -681,6 +755,58 @@ class KnowledgeBaseConstructionPipeline:
             raise PipelineError("quarantine_capacity must be >= 1")
         if cfg.stage_timeout is not None and cfg.stage_timeout <= 0:
             raise PipelineError("stage_timeout must be positive")
+
+    # ------------------------------------------------------------------
+    # Observability helpers.
+
+    def _stage_timer(self, report: PipelineReport, stage: str) -> "_timed":
+        """A ``_timed`` wired to this run's tracer and metrics."""
+        return _timed(
+            report, stage, tracer=self.tracer, metrics=self.metrics
+        )
+
+    def _record_stage(
+        self, report: PipelineReport, stage: str, seconds: float, detail: str
+    ) -> None:
+        """Book one completed extraction stage everywhere at once.
+
+        The stage body measured ``seconds`` inside its (possibly
+        worker-process) execution, so the span is back-dated rather
+        than live-timed.
+        """
+        report.timings.append(StageTiming(stage, seconds, detail))
+        self.tracer.record(stage, seconds, detail=detail)
+        self.metrics.histogram(
+            "pipeline_stage_seconds", stage=stage
+        ).observe(seconds)
+        self.metrics.counter(
+            "pipeline_stage_success_total", stage=stage
+        ).inc()
+
+    def _publish_fusion_metrics(
+        self, report: PipelineReport, result, fusion
+    ) -> None:
+        """Kernel-level fusion accounting: rounds, convergence, shards."""
+        metrics = self.metrics
+        metrics.counter("fusion_rounds_total").inc(result.iterations)
+        metrics.counter("fusion_claims_total").inc(len(self.claims))
+        metrics.counter("fusion_truth_items_total").inc(len(result.truths))
+        metrics.counter("fusion_converged_runs_total")
+        if result.converged_at is not None:
+            metrics.counter("fusion_converged_runs_total").inc()
+            metrics.gauge("fusion_converged_at_round").set(
+                result.converged_at
+            )
+        metrics.histogram("fusion_fuse_seconds").observe(report.fusion_wall)
+        shard_stats = fusion.last_shard_stats
+        if shard_stats is not None:
+            metrics.gauge("fusion_components").set(shard_stats.components)
+            metrics.gauge("fusion_largest_component_claims").set(
+                shard_stats.largest_claims
+            )
+            component_sizes = metrics.histogram("fusion_component_claims")
+            for size in shard_stats.component_claims:
+                component_sizes.observe(size)
 
     # ------------------------------------------------------------------
     def _check_fatal_fault(self, stage: str) -> None:
@@ -720,9 +846,12 @@ class KnowledgeBaseConstructionPipeline:
                 )
             return result[:-1] + (seconds,)
         except Exception as exc:  # noqa: BLE001 — the isolation boundary
-            report.health.mark_degraded(
-                stage, f"{type(exc).__name__}: {exc}"
-            )
+            reason = f"{type(exc).__name__}: {exc}"
+            report.health.mark_degraded(stage, reason)
+            self.tracer.record(stage, 0.0, detail=reason, failed=True)
+            self.metrics.counter(
+                "pipeline_stage_failed_total", stage=stage
+            ).inc()
             return None
 
     def _guard_input(self, records, validator, source: str):
@@ -754,6 +883,10 @@ class KnowledgeBaseConstructionPipeline:
         plan = cfg.fault_plan
 
         # -- 1+2a. KB snapshots + query-log generation (phase A) ---------
+        phase_span = (
+            self.tracer.span("extraction-phase-a") if pool is not None
+            else None
+        )
         phase_started = time.perf_counter()
         if pool is not None:
             kb_future = pool.submit(_kb_stage, world, cfg.kb_pair)
@@ -770,11 +903,9 @@ class KnowledgeBaseConstructionPipeline:
         if kb_result is not None:
             self.freebase, self.dbpedia, kb_output, kb_seconds = kb_result
             self.outputs["kb"] = kb_output
-            report.timings.append(
-                StageTiming(
-                    "kb-extraction", kb_seconds,
-                    f"{len(kb_output.triples)} claims",
-                )
+            self._record_stage(
+                report, "kb-extraction", kb_seconds,
+                f"{len(kb_output.triples)} claims",
             )
 
         self.entity_index = (
@@ -810,15 +941,15 @@ class KnowledgeBaseConstructionPipeline:
             )
             self.outputs["querystream"] = query_output
             report.query_stats = query_stats
-            report.timings.append(
-                StageTiming(
-                    "query-stream", query_seconds, f"{record_count} records"
-                )
+            self._record_stage(
+                report, "query-stream", query_seconds,
+                f"{record_count} records",
             )
         if pool is not None:
             report.extraction_wall["phase-a"] = (
                 time.perf_counter() - phase_started
             )
+            phase_span.end()
 
         # -- 3. Seed sets --------------------------------------------------
         seed_outputs = [
@@ -838,6 +969,10 @@ class KnowledgeBaseConstructionPipeline:
         if cfg.discover_new_entities:
             dom_config = replace(dom_config, allow_mention_anchors=True)
         kb_triples = kb_output.triples if kb_output is not None else []
+        phase_span = (
+            self.tracer.span("extraction-phase-b") if pool is not None
+            else None
+        )
         phase_started = time.perf_counter()
         if pool is not None:
             dom_future = pool.submit(
@@ -878,11 +1013,9 @@ class KnowledgeBaseConstructionPipeline:
         if dom_result is not None:
             dom_output, mention_classes, dom_seconds = dom_result
             self.outputs["dom"] = dom_output
-            report.timings.append(
-                StageTiming(
-                    "dom-extraction", dom_seconds,
-                    f"{len(dom_output.triples)} claims",
-                )
+            self._record_stage(
+                report, "dom-extraction", dom_seconds,
+                f"{len(dom_output.triples)} claims",
             )
 
         def text_stage_call():
@@ -896,16 +1029,15 @@ class KnowledgeBaseConstructionPipeline:
         if text_result is not None:
             text_output, text_seconds = text_result
             self.outputs["webtext"] = text_output
-            report.timings.append(
-                StageTiming(
-                    "webtext-extraction", text_seconds,
-                    f"{len(text_output.triples)} claims",
-                )
+            self._record_stage(
+                report, "webtext-extraction", text_seconds,
+                f"{len(text_output.triples)} claims",
             )
         if pool is not None:
             report.extraction_wall["phase-b"] = (
                 time.perf_counter() - phase_started
             )
+            phase_span.end()
         return mention_classes
 
     # ------------------------------------------------------------------
@@ -993,17 +1125,58 @@ class KnowledgeBaseConstructionPipeline:
 
 
 class _timed:
-    """Context manager recording a stage timing into a report."""
+    """Context manager recording a stage timing into a report.
 
-    def __init__(self, report: PipelineReport, stage: str) -> None:
+    The timing is appended whether or not the block raises: a failed
+    stage still spent the time, and dropping it made degraded-run
+    reports under-count wall-clock work.  Failures are marked in the
+    timing detail (``failed: <ExcType>``) and, when a tracer/metrics
+    pair is attached, in the span status and the
+    ``pipeline_stage_failed_total`` counter.
+    """
+
+    def __init__(
+        self,
+        report: PipelineReport,
+        stage: str,
+        *,
+        tracer: SpanTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.report = report
+        self.stage = stage
         self.timing = StageTiming(stage, 0.0)
+        self._tracer = tracer
+        self._metrics = metrics
+        self._span = None
 
     def __enter__(self) -> StageTiming:
+        if self._tracer is not None:
+            self._span = self._tracer.span(self.stage)
         self._start = time.perf_counter()
         return self.timing
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.timing.seconds = time.perf_counter() - self._start
-        if exc_type is None:
-            self.report.timings.append(self.timing)
+        failed = exc_type is not None
+        if failed:
+            marker = f"failed: {exc_type.__name__}"
+            self.timing.detail = (
+                f"{self.timing.detail}; {marker}"
+                if self.timing.detail else marker
+            )
+            self.report.health.mark_degraded(
+                self.stage, f"{exc_type.__name__}: {exc}"
+            )
+        self.report.timings.append(self.timing)
+        if self._span is not None:
+            self._span.end(detail=self.timing.detail, failed=failed)
+        if self._metrics is not None:
+            self._metrics.histogram(
+                "pipeline_stage_seconds", stage=self.stage
+            ).observe(self.timing.seconds)
+            outcome = (
+                "pipeline_stage_failed_total"
+                if failed else "pipeline_stage_success_total"
+            )
+            self._metrics.counter(outcome, stage=self.stage).inc()

@@ -41,20 +41,38 @@ class Quarantine:
     def divert(
         self, source: str, record: object, reason: str = "malformed"
     ) -> None:
-        """Record one bad record; raise once capacity is exceeded."""
+        """Record one bad record; raise when capacity would be exceeded.
+
+        The overflow check runs *before* any mutation: a caller that
+        catches :class:`QuarantineOverflowError` (stage isolation does)
+        keeps a sink exactly at capacity with stable totals, and every
+        later divert raises the same way instead of drifting the
+        counters further past the bound.
+        """
+        if self.total + 1 > self.capacity:
+            raise QuarantineOverflowError(
+                f"quarantine overflow: capacity {self.capacity} reached "
+                f"({self.total} diverted), refusing record from "
+                f"{source!r}"
+            )
         self.total += 1
         self.counts[source] = self.counts.get(source, 0) + 1
         bucket = self.samples.setdefault(source, [])
         if len(bucket) < self.sample_limit:
             bucket.append(f"{reason}: {repr(record)[:160]}")
-        if self.total > self.capacity:
-            raise QuarantineOverflowError(
-                f"quarantine overflow: {self.total} diverted records "
-                f"exceed capacity {self.capacity}"
-            )
 
     def merge(self, other: "Quarantine") -> None:
-        """Fold a stage-local quarantine into this one."""
+        """Fold a stage-local quarantine into this one.
+
+        Like :meth:`divert`, the capacity check happens before any
+        mutation, so a caught overflow leaves this sink unchanged.
+        """
+        if self.total + other.total > self.capacity:
+            raise QuarantineOverflowError(
+                f"quarantine overflow: merging {other.total} diverted "
+                f"records into {self.total} would exceed capacity "
+                f"{self.capacity}"
+            )
         self.total += other.total
         for source, count in other.counts.items():
             self.counts[source] = self.counts.get(source, 0) + count
@@ -64,11 +82,6 @@ class Quarantine:
                 if len(bucket) >= self.sample_limit:
                     break
                 bucket.append(example)
-        if self.total > self.capacity:
-            raise QuarantineOverflowError(
-                f"quarantine overflow: {self.total} diverted records "
-                f"exceed capacity {self.capacity}"
-            )
 
     def to_dict(self) -> dict:
         """JSON-ready snapshot (sorted for deterministic serialization)."""

@@ -50,6 +50,10 @@ class KnowledgeFusion(FusionMethod):
         all claims); only the fixed-point fuse shards.  The last run's
         :class:`~repro.fusion.sharding.ShardStats` is kept in
         ``last_shard_stats`` (None on serial runs).
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` handed down to the
+        sharded fuse's MapReduce job (``mapreduce_*`` counters); the
+        pipeline passes its per-run registry here.
     """
 
     name = "knowledge-fusion"
@@ -69,6 +73,7 @@ class KnowledgeFusion(FusionMethod):
         fusion_executor: str = "serial",
         retry: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        metrics=None,
     ) -> None:
         self.hierarchy = hierarchy
         self.functional_of = functional_of
@@ -82,6 +87,7 @@ class KnowledgeFusion(FusionMethod):
         self.fusion_executor = fusion_executor
         self.retry = retry
         self.fault_plan = fault_plan
+        self.metrics = metrics
         self.last_shard_stats = None
         self._casefold_hierarchy = (
             CasefoldHierarchy(hierarchy) if hierarchy is not None else None
@@ -119,6 +125,7 @@ class KnowledgeFusion(FusionMethod):
                 executor=self.fusion_executor,
                 retry=self.retry,
                 fault_plan=self.fault_plan,
+                metrics=self.metrics,
             )
         else:
             self.last_shard_stats = None

@@ -132,6 +132,7 @@ def fuse_sharded(
     partitions: int | None = None,
     retry: RetryPolicy | None = None,
     fault_plan: FaultPlan | None = None,
+    metrics=None,
 ) -> tuple[FusionResult, ShardStats]:
     """Fuse each connected component independently and merge.
 
@@ -141,7 +142,9 @@ def fuse_sharded(
     truths/beliefs/source qualities are the disjoint union of the
     component results; ``iterations`` and ``converged_at`` report the
     slowest component (``converged_at`` is None if any component hit
-    its iteration cap).
+    its iteration cap).  ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`) is handed to the underlying
+    job, which publishes its ``mapreduce_*`` counters there.
     """
     if executor not in EXECUTORS:
         raise FusionError(
@@ -166,6 +169,7 @@ def fuse_sharded(
         max_workers=workers,
         retry=retry,
         fault_plan=fault_plan,
+        metrics=metrics,
     )
     merged = FusionResult(method.name)
     stats = ShardStats(workers=workers, executor=executor)

@@ -230,6 +230,13 @@ class MapReduceJob(Generic[K, V]):
         Optional :class:`repro.faults.FaultPlan` hooked into the map
         and reduce task wrappers (scopes ``"map"``/``"reduce"``,
         indexed by partition/chunk) for deterministic chaos testing.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`.  When set,
+        ``run()`` publishes every :class:`JobStats` counter as a
+        ``mapreduce_*`` metric (even when the job raises) and the
+        guarded path counts dispatch waves per scope
+        (``mapreduce_waves_total``) and times them
+        (``mapreduce_wave_seconds``).
     """
 
     def __init__(
@@ -243,6 +250,7 @@ class MapReduceJob(Generic[K, V]):
         max_workers: int | None = None,
         retry: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        metrics=None,
     ) -> None:
         if partitions < 1:
             raise ReproError("partitions must be >= 1")
@@ -260,6 +268,7 @@ class MapReduceJob(Generic[K, V]):
         self.max_workers = max_workers
         self.retry = retry
         self.fault_plan = fault_plan
+        self.metrics = metrics
         self.stats = JobStats()
         self._active_pool: ProcessPoolExecutor | None = None
 
@@ -279,6 +288,42 @@ class MapReduceJob(Generic[K, V]):
             return self._execute(partitions, guarded)
         finally:
             self._active_pool = None
+            self._publish_stats()
+
+    def _publish_stats(self) -> None:
+        """Fold this run's ``JobStats`` into the metrics registry.
+
+        Runs even when the job raised, so a failed run's attempt and
+        poison counters are still visible.
+        """
+        if self.metrics is None:
+            return
+        stats = self.stats
+        metrics = self.metrics
+        metrics.counter("mapreduce_jobs_total").inc()
+        metrics.counter(
+            "mapreduce_input_records_total"
+        ).inc(stats.input_records)
+        metrics.counter(
+            "mapreduce_map_output_records_total"
+        ).inc(stats.map_output_records)
+        metrics.counter(
+            "mapreduce_combine_output_records_total"
+        ).inc(stats.combine_output_records)
+        metrics.counter(
+            "mapreduce_reduce_groups_total"
+        ).inc(stats.reduce_groups)
+        metrics.counter(
+            "mapreduce_output_records_total"
+        ).inc(stats.output_records)
+        metrics.counter("mapreduce_attempts_total").inc(stats.attempts)
+        metrics.counter("mapreduce_retries_total").inc(stats.retries)
+        metrics.counter(
+            "mapreduce_timed_out_tasks_total"
+        ).inc(stats.timed_out_tasks)
+        metrics.counter(
+            "mapreduce_poisoned_records_total"
+        ).inc(stats.poisoned_records)
 
     def _execute(
         self, partitions: list[list[Any]], guarded: bool
@@ -383,6 +428,11 @@ class MapReduceJob(Generic[K, V]):
         pending = list(range(len(payloads)))
         attempt = 0
         while pending:
+            wave_started = time.perf_counter()
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "mapreduce_waves_total", scope=scope
+                ).inc()
             futures = {}
             if self._active_pool is not None:
                 for index in pending:
@@ -414,6 +464,10 @@ class MapReduceJob(Generic[K, V]):
                     failed.append((index, exc))
                 except Exception as exc:
                     failed.append((index, exc))
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    "mapreduce_wave_seconds", scope=scope
+                ).observe(time.perf_counter() - wave_started)
             if not failed:
                 break
             attempt += 1

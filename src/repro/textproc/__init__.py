@@ -5,6 +5,7 @@ from repro.textproc.memo import (
     CacheStats,
     clear_similarity_caches,
     configure_similarity_caches,
+    publish_cache_metrics,
     similarity_cache_stats,
     similarity_caches_enabled,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "normalize_attribute",
     "normalize_name",
     "normalize_token",
+    "publish_cache_metrics",
     "singularize",
     "split_sentences",
     "token_jaccard",

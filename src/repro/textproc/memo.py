@@ -217,3 +217,24 @@ def clear_similarity_caches(*, reset_counters: bool = True) -> None:
         cache.clear()
         if reset_counters:
             cache.reset_counters()
+
+
+def publish_cache_metrics(registry) -> None:
+    """Bridge every cache's counters into a metrics registry.
+
+    Counter handles are incremented by the absolute cache totals, so
+    this must run once per pipeline run against a fresh registry (the
+    pipeline clears the caches at run start and publishes at run end).
+    ``registry`` is a :class:`repro.obs.MetricsRegistry`; it is passed
+    in rather than imported so textproc keeps no obs dependency.
+    """
+    for name in sorted(_REGISTRY):
+        stats = _REGISTRY[name].stats()
+        registry.counter("simcache_hits_total", cache=name).inc(stats.hits)
+        registry.counter(
+            "simcache_misses_total", cache=name
+        ).inc(stats.misses)
+        registry.counter(
+            "simcache_evictions_total", cache=name
+        ).inc(stats.evictions)
+        registry.gauge("simcache_size", cache=name).set(stats.size)

@@ -17,6 +17,8 @@ quarantining it must not change a single claim — which is exactly what
 makes byte-identity checkable.
 """
 
+import json
+
 import pytest
 
 from repro.core.pipeline import (
@@ -145,6 +147,17 @@ class TestByteIdenticalChaosRun:
             "fused_items", "health",
         ):
             assert rerun_json[key] == first_json[key]
+        # The count-type metrics (retry/quarantine/fusion counters
+        # included) must also be byte-identical under chaos; only the
+        # *_seconds metrics may differ between the runs.
+        assert json.dumps(
+            rerun_report.metrics.deterministic_subset(), sort_keys=True
+        ) == json.dumps(
+            first_report.metrics.deterministic_subset(), sort_keys=True
+        )
+        assert (
+            rerun_report.metrics.counters["mapreduce_retries_total"] >= 1
+        )
 
     def test_same_plan_without_retries_is_fatal(self, noise_record_index):
         config = _config(

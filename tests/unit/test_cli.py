@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -51,6 +53,40 @@ class TestParser:
         assert args.scenario == "multi-truth"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fusion-demo", "--scenario", "nope"])
+
+    def test_pipeline_observability_flags(self):
+        args = build_parser().parse_args(
+            ["pipeline", "--metrics-out", "m.json", "--trace-out", "t.json"]
+        )
+        assert args.metrics_out == "m.json"
+        assert args.trace_out == "t.json"
+        defaults = build_parser().parse_args(["pipeline"])
+        assert defaults.metrics_out is None
+        assert defaults.trace_out is None
+
+
+class TestPipelineObservabilityExport:
+    def test_metrics_and_trace_files_are_valid(self, tmp_path, capsys):
+        from repro.obs import validate_metrics, validate_trace
+
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            [
+                "pipeline",
+                "--metrics-out", str(metrics_path),
+                "--trace-out", str(trace_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"metrics written to {metrics_path}" in out
+        assert f"trace written to {trace_path}" in out
+        metrics_doc = json.loads(metrics_path.read_text())
+        trace_doc = json.loads(trace_path.read_text())
+        assert validate_metrics(metrics_doc) == []
+        assert validate_trace(trace_doc) == []
+        assert metrics_doc["counters"]["pipeline_runs_total"] == 1
+        assert trace_doc["spans"][0]["name"] == "pipeline"
 
 
 class TestTableCommands:

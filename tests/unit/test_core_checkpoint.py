@@ -1,10 +1,14 @@
 """Unit tests for the fingerprinted checkpoint store."""
 
+import os
+import time
+
 from repro.core.checkpoint import (
     CHECKPOINT_STAGES,
     CheckpointStore,
     config_fingerprint,
 )
+from repro.obs import MetricsRegistry
 from repro.core.pipeline import PipelineConfig
 from repro.faults import FaultPlan
 from repro.mapreduce.engine import RetryPolicy
@@ -76,3 +80,67 @@ class TestCheckpointStore:
             store.save(stage, stage)
         assert store.clear() == len(CHECKPOINT_STAGES)
         assert all(store.load(stage) is None for stage in CHECKPOINT_STAGES)
+
+
+class TestTempFileHygiene:
+    """Regression: a crash mid-save orphaned ``.tmp`` files forever."""
+
+    def _orphan(self, tmp_path, name: str, *, age: float = 3600.0):
+        orphan = tmp_path / name
+        orphan.write_bytes(b"half-written")
+        stale = time.time() - age
+        os.utime(orphan, (stale, stale))
+        return orphan
+
+    def test_save_sweeps_stale_orphans_of_its_stage(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp-1")
+        self._orphan(tmp_path, "claims.ckpt.999.0.tmp")
+        self._orphan(tmp_path, "claims.ckpt.tmp")  # legacy naming
+        other = self._orphan(tmp_path, "extraction.ckpt.999.0.tmp")
+        store.save("claims", {"x": 1})
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["claims.ckpt", other.name]
+
+    def test_save_leaves_fresh_temps_alone(self, tmp_path):
+        # A just-written temp may belong to a live concurrent writer:
+        # deleting it would crash that writer's os.replace.
+        store = CheckpointStore(tmp_path, "fp-1")
+        live = self._orphan(tmp_path, "claims.ckpt.998.7.tmp", age=0.0)
+        store.save("claims", {"x": 1})
+        assert live.exists()
+
+    def test_clear_sweeps_every_orphan_unconditionally(self, tmp_path):
+        store = CheckpointStore(tmp_path, "fp-1")
+        store.save("extraction", {"x": 1})
+        self._orphan(tmp_path, "claims.ckpt.999.3.tmp", age=0.0)
+        self._orphan(tmp_path, "extraction.ckpt.tmp")
+        assert store.clear() == 3
+        assert list(tmp_path.iterdir()) == []
+
+    def test_temp_names_unique_across_stores_in_one_process(self, tmp_path):
+        # Two stores sharing a directory must never mint the same temp
+        # name, or one's os.replace could ship the other's bytes.
+        first = CheckpointStore(tmp_path, "fp-1")
+        second = CheckpointStore(tmp_path, "fp-2")
+        names = {
+            first._temp_path("claims").name,
+            second._temp_path("claims").name,
+            first._temp_path("claims").name,
+        }
+        assert len(names) == 3
+
+    def test_metrics_count_store_traffic(self, tmp_path):
+        registry = MetricsRegistry()
+        store = CheckpointStore(tmp_path, "fp-1", metrics=registry)
+        self._orphan(tmp_path, "claims.ckpt.999.0.tmp")
+        store.save("claims", {"x": 1})
+        assert store.load("claims") == {"x": 1}
+        store.load("extraction")  # miss
+        stale = CheckpointStore(tmp_path, "fp-other", metrics=registry)
+        stale.load("claims")  # fingerprint mismatch
+        counters = registry.snapshot().counters
+        assert counters["checkpoint_saves_total{stage=claims}"] == 1
+        assert counters["checkpoint_loads_total{stage=claims}"] == 1
+        assert counters["checkpoint_misses_total{stage=extraction}"] == 1
+        assert counters["checkpoint_stale_total{stage=claims}"] == 1
+        assert counters["checkpoint_temps_swept_total"] == 1

@@ -44,6 +44,43 @@ class TestQuarantine:
         with pytest.raises(QuarantineOverflowError):
             tight.merge(child)
 
+    def test_caught_overflow_leaves_counters_consistent(self):
+        """Regression: ``divert`` mutated counters before raising.
+
+        Stage isolation catches the overflow and carries on, so a sink
+        at capacity must stay exactly at capacity — totals, per-source
+        counts and samples all unchanged — across any number of caught
+        overflows.
+        """
+        quarantine = Quarantine(capacity=2)
+        quarantine.divert("dom", "a")
+        quarantine.divert("dom", "b")
+        before = quarantine.to_dict()
+        for _ in range(3):  # caught-and-continue, repeatedly
+            with pytest.raises(QuarantineOverflowError):
+                quarantine.divert("webtext", "overflowing")
+        assert quarantine.to_dict() == before
+        assert quarantine.total == quarantine.capacity
+        assert "webtext" not in quarantine.counts
+        assert "webtext" not in quarantine.samples
+
+    def test_caught_merge_overflow_leaves_parent_unchanged(self):
+        parent = Quarantine(capacity=3)
+        parent.divert("dom", "a")
+        parent.divert("dom", "b")
+        child = Quarantine()
+        child.divert("webtext", "x")
+        child.divert("webtext", "y")
+        before = parent.to_dict()
+        with pytest.raises(QuarantineOverflowError):
+            parent.merge(child)
+        assert parent.to_dict() == before
+        # A merge that fits still works afterwards.
+        small = Quarantine()
+        small.divert("webtext", "z")
+        parent.merge(small)
+        assert parent.total == 3
+
     def test_to_dict_is_sorted_and_json_shaped(self):
         quarantine = Quarantine()
         quarantine.divert("webtext", "w")

@@ -97,3 +97,87 @@ class TestPipeline:
 
     def test_empty_pipeline_passthrough(self):
         assert Pipeline().run([1, 2, 3]) == [1, 2, 3]
+
+
+def _word_mapper(doc):
+    return [(word, 1) for word in doc.split()]
+
+
+def _sum_reducer(word, counts):
+    return [(word, sum(counts))]
+
+
+class TestJobMetrics:
+    def test_run_publishes_jobstats_counters(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        job = MapReduceJob(
+            _word_mapper, _sum_reducer, metrics=registry
+        )
+        job.run(["a b a", "b c"])
+        counters = registry.snapshot().counters
+        assert counters["mapreduce_jobs_total"] == 1
+        assert counters["mapreduce_input_records_total"] == 2
+        assert counters["mapreduce_map_output_records_total"] == 5
+        assert counters["mapreduce_reduce_groups_total"] == 3
+        assert counters["mapreduce_output_records_total"] == 3
+
+    def test_counters_accumulate_across_runs(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        job = MapReduceJob(
+            _word_mapper, _sum_reducer, metrics=registry
+        )
+        job.run(["a"])
+        job.run(["b b"])
+        counters = registry.snapshot().counters
+        assert counters["mapreduce_jobs_total"] == 2
+        assert counters["mapreduce_input_records_total"] == 2
+        assert counters["mapreduce_map_output_records_total"] == 3
+
+    def test_guarded_path_counts_waves_and_retries(self):
+        from repro.faults import FaultPlan
+        from repro.mapreduce.engine import RetryPolicy
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        plan = FaultPlan(seed=1).crash("map", index=0, attempts=1)
+        job = MapReduceJob(
+            _word_mapper,
+            _sum_reducer,
+            partitions=2,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+            fault_plan=plan,
+            metrics=registry,
+        )
+        job.run(["a b", "c d"])
+        snapshot = registry.snapshot()
+        # Wave 1 runs both scopes' tasks; the injected crash forces a
+        # second map wave.
+        assert snapshot.counters["mapreduce_waves_total{scope=map}"] == 2
+        assert snapshot.counters["mapreduce_waves_total{scope=reduce}"] == 1
+        assert snapshot.counters["mapreduce_retries_total"] == 1
+        assert (
+            snapshot.counters["mapreduce_attempts_total"]
+            == job.stats.attempts
+        )
+        waves = snapshot.histograms["mapreduce_wave_seconds{scope=map}"]
+        assert waves.count == 2
+
+    def test_stats_published_even_when_the_job_dies(self):
+        from repro.errors import RetryExhaustedError
+        from repro.faults import FaultPlan
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        plan = FaultPlan(seed=1).crash("map", index=0, attempts=0)
+        job = MapReduceJob(
+            _word_mapper, _sum_reducer, fault_plan=plan, metrics=registry
+        )
+        with pytest.raises(RetryExhaustedError):
+            job.run(["a b"])
+        counters = registry.snapshot().counters
+        assert counters["mapreduce_jobs_total"] == 1
+        assert counters["mapreduce_attempts_total"] >= 1

@@ -1,0 +1,124 @@
+"""Unit tests for the metrics/trace JSON schema validators."""
+
+import json
+
+from repro.obs.schema import main, validate_metrics, validate_trace
+
+
+def good_metrics() -> dict:
+    return {
+        "counters": {"runs_total": 1},
+        "gauges": {"active_sources": 4},
+        "histograms": {
+            "sizes": {
+                "bounds": [1.0, 5.0],
+                "counts": [2, 1, 0],
+                "count": 3,
+                "sum": 7.0,
+            }
+        },
+    }
+
+
+def good_trace() -> dict:
+    return {
+        "seconds": 1.5,
+        "spans": [
+            {
+                "name": "pipeline",
+                "start": 0.0,
+                "seconds": 1.5,
+                "detail": "",
+                "status": "ok",
+                "children": [
+                    {
+                        "name": "fusion",
+                        "start": 0.5,
+                        "seconds": 1.0,
+                        "detail": "10 items",
+                        "status": "failed",
+                        "children": [],
+                    }
+                ],
+            }
+        ],
+    }
+
+
+class TestValidateMetrics:
+    def test_good_document_is_clean(self):
+        assert validate_metrics(good_metrics()) == []
+
+    def test_non_object_rejected(self):
+        assert validate_metrics([]) != []
+
+    def test_unexpected_top_level_key(self):
+        doc = good_metrics()
+        doc["extra"] = {}
+        assert any("extra" in p for p in validate_metrics(doc))
+
+    def test_non_numeric_counter(self):
+        doc = good_metrics()
+        doc["counters"]["runs_total"] = "many"
+        assert any("runs_total" in p for p in validate_metrics(doc))
+
+    def test_boolean_is_not_a_number(self):
+        doc = good_metrics()
+        doc["gauges"]["active_sources"] = True
+        assert validate_metrics(doc) != []
+
+    def test_unsorted_bounds(self):
+        doc = good_metrics()
+        doc["histograms"]["sizes"]["bounds"] = [5.0, 1.0]
+        assert any("sorted" in p for p in validate_metrics(doc))
+
+    def test_count_slot_mismatch(self):
+        doc = good_metrics()
+        doc["histograms"]["sizes"]["counts"] = [2, 1]
+        assert any("slots" in p for p in validate_metrics(doc))
+
+    def test_count_must_equal_sum_of_counts(self):
+        doc = good_metrics()
+        doc["histograms"]["sizes"]["count"] = 99
+        assert any("sum(counts)" in p for p in validate_metrics(doc))
+
+
+class TestValidateTrace:
+    def test_good_document_is_clean(self):
+        assert validate_trace(good_trace()) == []
+
+    def test_missing_seconds(self):
+        doc = good_trace()
+        del doc["seconds"]
+        assert validate_trace(doc) != []
+
+    def test_bad_status_deep_in_the_tree(self):
+        doc = good_trace()
+        doc["spans"][0]["children"][0]["status"] = "meh"
+        problems = validate_trace(doc)
+        assert any("children[0].status" in p for p in problems)
+
+    def test_negative_start_rejected(self):
+        doc = good_trace()
+        doc["spans"][0]["start"] = -1.0
+        assert validate_trace(doc) != []
+
+
+class TestMain:
+    def test_valid_files_exit_zero(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.json"
+        metrics.write_text(json.dumps(good_metrics()))
+        trace.write_text(json.dumps(good_trace()))
+        code = main(["--metrics", str(metrics), "--trace", str(trace)])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_file_exits_nonzero(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        metrics.write_text(json.dumps({"counters": {"x": "bad"}}))
+        assert main(["--metrics", str(metrics)]) == 1
+        assert capsys.readouterr().err != ""
+
+    def test_unreadable_file_is_a_problem_not_a_crash(self, tmp_path):
+        assert main(["--metrics", str(tmp_path / "missing.json")]) == 1
