@@ -1,0 +1,249 @@
+"""Incremental fusion — delta-apply vs full re-fusion report.
+
+Builds a many-component claim corpus (disjoint synthetic claim worlds,
+single shared extractor so extractor weights stay constant), primes an
+:class:`~repro.incremental.engine.IncrementalFusion`, then applies
+deltas that dirty 0.1% / 1% / 10% of the data items.  For every dirty
+fraction it measures
+
+* ``apply_delta`` wall time (journal + dirty-component re-fusion +
+  merge), and
+* a full re-fusion of the post-delta store through
+  ``KnowledgeFusion.fuse(canonical_claims(store))``,
+
+and verifies the two results are byte-identical
+(:meth:`FusionResult.canonical_bytes`, tolerance=0).  The acceptance
+bar (full mode): delta-apply beats full re-fusion at the 1%-dirty
+point.
+
+Results land in ``benchmarks/out/incremental.txt`` (table) and
+``benchmarks/out/BENCH_incremental.json``.  Run standalone with
+``python benchmarks/bench_incremental.py [--quick]``; ``--quick``
+shrinks the corpus for CI smoke runs.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.evalx.tables import render_table
+from repro.fusion.knowledge_fusion import KnowledgeFusion
+from repro.incremental import ClaimDelta, canonical_claims
+from repro.rdf.store import TripleStore
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+from repro.synth.deltas import scored_from_claims
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+DIRTY_FRACTIONS = (0.001, 0.01, 0.1)
+
+
+def _corpus(quick: bool) -> list[ScoredTriple]:
+    """Disjoint claim worlds => one connected component per world."""
+    n_worlds = 24 if quick else 120
+    n_items = 8 if quick else 12
+    scored: list[ScoredTriple] = []
+    for index in range(n_worlds):
+        world = generate_claim_world(
+            ClaimWorldConfig(seed=200 + index, n_items=n_items, n_sources=6)
+        )
+        for one in scored_from_claims(world.claims):
+            triple = one.triple
+            scored.append(
+                ScoredTriple(
+                    Triple(
+                        f"w{index:03d}/{triple.subject}",
+                        triple.predicate,
+                        triple.obj,
+                    ),
+                    Provenance(
+                        f"w{index:03d}/{one.provenance.source_id}",
+                        one.provenance.extractor_id,
+                        one.provenance.locator,
+                    ),
+                    one.confidence,
+                )
+            )
+    return scored
+
+
+def _fusion() -> KnowledgeFusion:
+    # tolerance=0 pins the iteration count — the byte-identity regime.
+    return KnowledgeFusion(tolerance=0.0, max_iterations=10)
+
+
+def _delta_for(store: TripleStore, fraction: float) -> ClaimDelta:
+    """One new claim on each of ``fraction`` of the data items.
+
+    Items are picked round-robin across distinct subjects (hence
+    across distinct components), so the dirty-component count tracks
+    the dirty-item count.
+    """
+    items = sorted(
+        {scored.triple.item for scored in store.claims()}
+    )
+    wanted = max(1, round(fraction * len(items)))
+    step = max(1, len(items) // wanted)
+    picked = items[::step][:wanted]
+    added = [
+        ScoredTriple(
+            Triple(subject, predicate, Value.string(f"delta-{fraction}")),
+            Provenance(f"{subject.split('/', 1)[0]}/source00", "synthetic"),
+            0.8,
+        )
+        for subject, predicate in picked
+    ]
+    return ClaimDelta(added=added, label=f"dirty-{fraction}")
+
+
+def run_section(quick: bool) -> dict:
+    scored = _corpus(quick)
+    base_store = TripleStore()
+    base_store.add_all(scored)
+    items_total = len(
+        {one.triple.item for one in base_store.claims()}
+    )
+
+    fusion = _fusion()
+    started = time.perf_counter()
+    engine = fusion.begin_incremental(base_store.copy())
+    prime_seconds = time.perf_counter() - started
+
+    records = []
+    for fraction in DIRTY_FRACTIONS:
+        delta = _delta_for(engine.store, fraction)
+
+        started = time.perf_counter()
+        outcome = fusion.apply_delta(delta)
+        delta_seconds = time.perf_counter() - started
+
+        # Full re-fusion of the identical post-delta store, cold.
+        reference_claims = canonical_claims(engine.store)
+        started = time.perf_counter()
+        reference = _fusion().fuse(reference_claims)
+        full_seconds = time.perf_counter() - started
+
+        records.append(
+            {
+                "dirty_fraction": fraction,
+                "dirty_items": len(delta.added),
+                "dirty_components": outcome.dirty_components,
+                "components": outcome.components,
+                "reused_verdicts": outcome.reused_verdicts,
+                "delta_seconds": round(delta_seconds, 4),
+                "full_seconds": round(full_seconds, 4),
+                "speedup": round(full_seconds / delta_seconds, 3),
+                "identical": (
+                    outcome.result.canonical_bytes()
+                    == reference.canonical_bytes()
+                ),
+            }
+        )
+    return {
+        "claims": len(scored),
+        "items": items_total,
+        "components": engine.components,
+        "prime_seconds": round(prime_seconds, 4),
+        "runs": records,
+    }
+
+
+def section_table(section: dict) -> str:
+    rows = [
+        [
+            f"{record['dirty_fraction']:.1%}",
+            record["dirty_items"],
+            f"{record['dirty_components']}/{record['components']}",
+            record["reused_verdicts"],
+            f"{record['delta_seconds'] * 1000:.1f}ms",
+            f"{record['full_seconds'] * 1000:.1f}ms",
+            f"{record['speedup']:.2f}x",
+            "yes" if record["identical"] else "NO",
+        ]
+        for record in section["runs"]
+    ]
+    return render_table(
+        ["dirty", "items", "dirty comps", "reused verdicts",
+         "delta-apply", "full re-fusion", "speedup", "identical"],
+        rows,
+        title=(
+            f"Incremental fusion ({section['claims']} claims, "
+            f"{section['components']} components, "
+            f"prime {section['prime_seconds'] * 1000:.1f}ms, tolerance=0)"
+        ),
+    )
+
+
+def run_all(quick: bool) -> tuple[dict, str]:
+    section = run_section(quick)
+    document = {
+        "meta": {
+            "quick": quick,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "incremental": section,
+    }
+    return document, section_table(section)
+
+
+def emit(document: dict, tables: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "incremental.txt").write_text(tables + "\n")
+    (OUT_DIR / "BENCH_incremental.json").write_text(
+        json.dumps(document, indent=2) + "\n"
+    )
+
+
+def _check(document: dict) -> list[str]:
+    failures = []
+    for record in document["incremental"]["runs"]:
+        if not record["identical"]:
+            failures.append(
+                f"delta at {record['dirty_fraction']} diverged from "
+                "full re-fusion"
+            )
+    if not document["meta"]["quick"]:
+        # The acceptance bar: delta-apply beats a full re-fusion when
+        # 1% of the items are dirty.
+        for record in document["incremental"]["runs"]:
+            if record["dirty_fraction"] == 0.01 and record["speedup"] <= 1.0:
+                failures.append(
+                    f"1%-dirty delta-apply speedup {record['speedup']}x "
+                    "<= 1x"
+                )
+    return failures
+
+
+def test_incremental_report():
+    document, tables = run_all(quick=False)
+    print()
+    print(tables)
+    emit(document, tables)
+    assert not _check(document)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink the corpus (CI smoke mode)",
+    )
+    options = parser.parse_args(argv)
+    document, tables = run_all(quick=options.quick)
+    print(tables)
+    emit(document, tables)
+    print(f"\nwrote {OUT_DIR / 'BENCH_incremental.json'}")
+    failures = _check(document)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

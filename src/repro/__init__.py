@@ -19,12 +19,14 @@ Quick start::
 """
 
 from repro.core.pipeline import (
+    IncrementalReport,
     KnowledgeBaseConstructionPipeline,
     PipelineConfig,
     PipelineHealth,
     PipelineReport,
 )
 from repro.errors import (
+    DeltaError,
     QuarantineOverflowError,
     ReproError,
     RetryExhaustedError,
@@ -32,6 +34,7 @@ from repro.errors import (
 )
 from repro.faults import FaultPlan
 from repro.fusion.knowledge_fusion import KnowledgeFusion
+from repro.incremental import ClaimDelta, IncrementalFusion, load_delta, save_delta
 from repro.mapreduce.engine import RetryPolicy
 from repro.obs import MetricsRegistry, MetricsSnapshot, SpanTracer
 from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
@@ -40,10 +43,16 @@ from repro.synth.world import GroundTruthWorld, WorldConfig
 __version__ = "1.0.0"
 
 __all__ = [
+    "ClaimDelta",
+    "DeltaError",
     "FaultPlan",
     "GroundTruthWorld",
+    "IncrementalFusion",
+    "IncrementalReport",
     "KnowledgeBaseConstructionPipeline",
     "KnowledgeFusion",
+    "load_delta",
+    "save_delta",
     "MetricsRegistry",
     "MetricsSnapshot",
     "PipelineConfig",

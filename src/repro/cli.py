@@ -90,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
         "recomputing (stale checkpoints are ignored)",
     )
     pipeline.add_argument(
+        "--apply-delta", metavar="PATH", action="append", default=[],
+        help="after the run, apply a JSON claim delta (added/retracted "
+        "triples) incrementally, re-fusing only the dirty connected "
+        "components; repeatable, applied in order",
+    )
+    pipeline.add_argument(
         "--metrics-out", metavar="FILE",
         help="write the run's metric snapshot (counters/gauges/"
         "histograms) as JSON",
@@ -211,6 +217,26 @@ def _run_pipeline(args) -> int:
             f"augmentation: +{augmentation.new_facts} facts, "
             f"+{augmentation.total_new_attributes()} attributes, "
             f"+{augmentation.new_entities} entities"
+        )
+    for path in args.apply_delta:
+        from repro.incremental import load_delta
+
+        incremental = pipeline.run_incremental(load_delta(path))
+        outcome = incremental.outcome
+        receipt = outcome.receipt
+        print(
+            f"delta #{incremental.sequence} ({path}): "
+            f"+{receipt.added} claims, -{receipt.removed_claims} claims; "
+            f"{outcome.dirty_components}/{outcome.components} components "
+            f"re-fused, {outcome.reused_verdicts} verdicts reused"
+            f"{' (degenerate: full re-fusion)' if outcome.degenerate else ''}"
+            f" in {outcome.wall_seconds:.2f}s"
+        )
+        fused = incremental.fusion_report
+        print(
+            f"  fusion: {fused.items} items, "
+            f"precision {fused.precision:.3f}, recall {fused.recall:.3f}, "
+            f"F1 {fused.f1:.3f}"
         )
     if args.export:
         from repro.rdf.io import dump_claims_tsv

@@ -25,7 +25,11 @@ Checkpointed stages (in pipeline order):
   extractor outputs, seed sets, Set_E, mention classes, plus the
   report fragments (timings, health) those stages generated;
 * ``"claims"`` — the scored claim list after entity/attribute
-  resolution and confidence scoring.
+  resolution and confidence scoring;
+* ``"incremental"`` — the post-delta claim corpus and delta sequence
+  written by ``run_incremental()``, so resume and delta-apply compose
+  (a resumed session primes its incremental engine from the last
+  applied delta, not from the original claims).
 
 Fusion and later stages always rerun: they are comparatively cheap and
 depend on fusion toggles outside the fingerprint.
@@ -42,7 +46,7 @@ from pathlib import Path
 
 __all__ = ["CHECKPOINT_STAGES", "CheckpointStore", "config_fingerprint"]
 
-CHECKPOINT_STAGES = ("extraction", "claims")
+CHECKPOINT_STAGES = ("extraction", "claims", "incremental")
 
 # A temp file younger than this is assumed to belong to a live writer
 # (another process mid-``save``); the save-path sweep leaves it alone.

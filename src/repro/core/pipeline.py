@@ -174,6 +174,11 @@ class PipelineConfig:
     fusion_parallelism: int = 1
     # Mapreduce executor for sharded fusion: "process" or "serial".
     fusion_executor: str = "process"
+    # Convergence tolerance forwarded to the multi-truth core; None
+    # keeps the core's default.  Set 0.0 to pin the iteration count —
+    # the regime in which run_incremental() is byte-identical to a
+    # full re-fusion.
+    fusion_tolerance: float | None = None
     # -- Fault tolerance ------------------------------------------------
     # Retry policy for the sharded-fusion MapReduce job (None keeps the
     # legacy single-attempt behaviour).
@@ -330,6 +335,42 @@ class PipelineReport:
         }
 
 
+@dataclass(slots=True)
+class IncrementalReport:
+    """Everything one :meth:`run_incremental` call produced.
+
+    ``sequence`` is the engine's delta counter, offset by the sequence
+    restored from an ``"incremental"`` checkpoint (so it keeps counting
+    across resumed sessions).  ``primed`` marks the call that built the
+    engine (the expensive path); ``resumed_from`` names the checkpoint
+    stage the claim corpus came from (None when it came from an
+    in-memory run).
+    """
+
+    outcome: object  # repro.incremental.engine.DeltaOutcome
+    fusion_result: FusionResult
+    fusion_report: TruthDiscoveryReport
+    sequence: int
+    primed: bool = False
+    resumed_from: str | None = None
+    wall_seconds: float = 0.0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "sequence": self.sequence,
+            "primed": self.primed,
+            "resumed_from": self.resumed_from,
+            "wall_seconds": self.wall_seconds,
+            "outcome": self.outcome.to_json_dict(),
+            "fusion": {
+                "items": self.fusion_report.items,
+                "precision": self.fusion_report.precision,
+                "recall": self.fusion_report.recall,
+                "f1": self.fusion_report.f1,
+            },
+        }
+
+
 # ----------------------------------------------------------------------
 # Record validators for the quarantine guards: structurally broken
 # records (wrong type, empty payload) are diverted, not crashed on.
@@ -461,6 +502,16 @@ class KnowledgeBaseConstructionPipeline:
         self.outputs: dict[str, ExtractorOutput] = {}
         self.seeds: dict[str, SeedSet] = {}
         self.claims: ClaimSet | None = None
+        # The scored claim list fusion ran on (post resolution and
+        # confidence scoring); run_incremental() primes its store from
+        # this when available.
+        self.all_triples: list | None = None
+        # The KnowledgeFusion carrying the primed incremental engine
+        # (None until run_incremental() first primes one; invalidated
+        # by every full run()).
+        self.incremental_fusion: KnowledgeFusion | None = None
+        self._incremental_entity_resolution: ResolutionOutcome | None = None
+        self._incremental_offset = 0
         self.quarantine = Quarantine(capacity=self.config.quarantine_capacity)
         # Observability: one registry/tracer pair per run (rebuilt at the
         # top of run()); the report of the most recent run — even one
@@ -484,6 +535,11 @@ class KnowledgeBaseConstructionPipeline:
         self.last_report = report
         self.metrics = MetricsRegistry()
         self.tracer = SpanTracer()
+        # A full run recomputes the claim corpus, so any previously
+        # primed incremental engine is stale.
+        self.incremental_fusion = None
+        self._incremental_entity_resolution = None
+        self._incremental_offset = 0
         clear_similarity_caches()
         self.metrics.counter("pipeline_runs_total").inc()
         self.metrics.counter("quarantine_records_total")  # always present
@@ -633,34 +689,12 @@ class KnowledgeBaseConstructionPipeline:
             ).inc(len(output.triples))
 
         # -- 8. Fusion -----------------------------------------------------
+        self.all_triples = all_triples
         with self._stage_timer(report, "fusion") as timing:
             self._check_fatal_fault("fusion")
             self.claims = ClaimSet.from_scored_triples(all_triples)
-            if cfg.functionality_source == "estimated":
-                from repro.fusion.functionality import (
-                    functional_oracle_from_claims,
-                )
-
-                functional_of = functional_oracle_from_claims(self.claims)
-            elif cfg.functionality_source == "schema":
-                functional_of = self._functional_oracle()
-            else:
-                raise PipelineError(
-                    "functionality_source must be 'schema' or 'estimated', "
-                    f"got {cfg.functionality_source!r}"
-                )
-            fusion = KnowledgeFusion(
-                hierarchy=world.hierarchy if cfg.use_hierarchy else None,
-                functional_of=functional_of,
-                use_source_correlations=cfg.use_source_correlations,
-                use_extractor_correlations=cfg.use_extractor_correlations,
-                use_confidence=cfg.use_confidence,
-                parallelism=cfg.fusion_parallelism,
-                fusion_executor=cfg.fusion_executor,
-                retry=cfg.retry,
-                fault_plan=cfg.fault_plan,
-                metrics=self.metrics,
-            )
+            functional_of = self._select_functional_oracle(self.claims)
+            fusion = self._build_fusion(functional_of)
             fuse_started = time.perf_counter()
             result = fusion.fuse(self.claims)
             report.fusion_wall = time.perf_counter() - fuse_started
@@ -688,20 +722,9 @@ class KnowledgeBaseConstructionPipeline:
         # -- 9. Evaluation --------------------------------------------------
         with self._stage_timer(report, "evaluation"):
             self._check_fatal_fault("evaluation")
-            evaluated = result
-            if report.entity_resolution is not None:
-                # Resolve discovered-entity ids back to gold identities
-                # (evaluation-only knowledge: the cluster names refer to
-                # real world entities that were absent from Set_E).
-                gold_index = world.entity_index()
-                mapping: dict[str, str] = {}
-                for cluster in report.entity_resolution.clusters:
-                    for surface in cluster.surfaces:
-                        entity = gold_index.get(surface.lower())
-                        if entity is not None:
-                            mapping[cluster.cluster_id] = entity.entity_id
-                            break
-                evaluated = remap_subjects(result, mapping)
+            evaluated = self._remap_for_evaluation(
+                result, report.entity_resolution
+            )
             report.fusion_report = evaluate_fusion(world, evaluated)
 
         # -- 10. Augmentation ------------------------------------------------
@@ -1101,6 +1124,188 @@ class KnowledgeBaseConstructionPipeline:
             for spec in self.world.catalogs[class_name].attributes:
                 functional.setdefault(spec.name, spec.functional)
         return lambda predicate: functional.get(predicate, False)
+
+    def _select_functional_oracle(self, claims: ClaimSet):
+        """The functionality oracle per ``functionality_source``."""
+        cfg = self.config
+        if cfg.functionality_source == "estimated":
+            from repro.fusion.functionality import (
+                functional_oracle_from_claims,
+            )
+
+            return functional_oracle_from_claims(claims)
+        if cfg.functionality_source == "schema":
+            return self._functional_oracle()
+        raise PipelineError(
+            "functionality_source must be 'schema' or 'estimated', "
+            f"got {cfg.functionality_source!r}"
+        )
+
+    def _build_fusion(self, functional_of) -> KnowledgeFusion:
+        """The combined fusion method, configured from this pipeline."""
+        cfg = self.config
+        return KnowledgeFusion(
+            hierarchy=self.world.hierarchy if cfg.use_hierarchy else None,
+            functional_of=functional_of,
+            use_source_correlations=cfg.use_source_correlations,
+            use_extractor_correlations=cfg.use_extractor_correlations,
+            use_confidence=cfg.use_confidence,
+            tolerance=cfg.fusion_tolerance,
+            parallelism=cfg.fusion_parallelism,
+            fusion_executor=cfg.fusion_executor,
+            retry=cfg.retry,
+            fault_plan=cfg.fault_plan,
+            metrics=self.metrics,
+        )
+
+    def _remap_for_evaluation(self, result, entity_resolution):
+        """Resolve discovered-entity ids back to gold identities.
+
+        Evaluation-only knowledge: the cluster names refer to real
+        world entities that were absent from Set_E.
+        """
+        if entity_resolution is None:
+            return result
+        gold_index = self.world.entity_index()
+        mapping: dict[str, str] = {}
+        for cluster in entity_resolution.clusters:
+            for surface in cluster.surfaces:
+                entity = gold_index.get(surface.lower())
+                if entity is not None:
+                    mapping[cluster.cluster_id] = entity.entity_id
+                    break
+        return remap_subjects(result, mapping)
+
+    # ------------------------------------------------------------------
+    # Incremental updates.
+
+    def _checkpoint_store(self) -> CheckpointStore | None:
+        if self.config.checkpoint_dir is None:
+            return None
+        return CheckpointStore(
+            self.config.checkpoint_dir,
+            config_fingerprint(self.config),
+            metrics=self.metrics,
+        )
+
+    def _prime_incremental(self, resume: bool) -> str | None:
+        """Build and prime the incremental engine; returns the
+        checkpoint stage the claim corpus was restored from (None when
+        it came from this process's last run())."""
+        from repro.rdf.store import TripleStore
+
+        cfg = self.config
+        all_triples = self.all_triples
+        entity_resolution = (
+            self.last_report.entity_resolution
+            if self.last_report is not None
+            else None
+        )
+        resumed_from = None
+        if all_triples is None:
+            store = self._checkpoint_store()
+            if store is None or not resume:
+                raise PipelineError(
+                    "run_incremental needs claims: call run() first, or "
+                    "pass resume=True with a checkpoint_dir holding a "
+                    "claims/incremental checkpoint"
+                )
+            payload = store.load("incremental")
+            if payload is not None:
+                resumed_from = "incremental"
+                self._incremental_offset = payload.get("sequence", 0)
+            else:
+                payload = store.load("claims")
+                if payload is None:
+                    raise PipelineError(
+                        "resume=True but no usable claims/incremental "
+                        f"checkpoint in {cfg.checkpoint_dir!r} (missing "
+                        "or stale fingerprint)"
+                    )
+                resumed_from = "claims"
+            all_triples = payload["all_triples"]
+            entity_resolution = payload.get("entity_resolution")
+
+        claims = ClaimSet.from_scored_triples(all_triples)
+        functional_refresh = None
+        if cfg.functionality_source == "estimated":
+            from repro.fusion.functionality import (
+                functional_oracle_from_claims,
+            )
+
+            # Re-derived by the engine after every delta; the initial
+            # oracle is set by prime() through the same callback.
+            functional_of = None
+            functional_refresh = functional_oracle_from_claims
+        else:
+            functional_of = self._select_functional_oracle(claims)
+
+        fusion = self._build_fusion(functional_of)
+        triple_store = TripleStore()
+        triple_store.add_all(all_triples)
+        fusion.begin_incremental(
+            triple_store, functional_refresh=functional_refresh
+        )
+        self.incremental_fusion = fusion
+        self._incremental_entity_resolution = entity_resolution
+        return resumed_from
+
+    def run_incremental(self, delta, *, resume: bool = False):
+        """Apply one :class:`~repro.incremental.delta.ClaimDelta`.
+
+        Journals the delta into the claim store and re-fuses only the
+        dirty connected components (see :mod:`repro.incremental`), then
+        re-evaluates the merged result against the world.  The claim
+        corpus comes from, in order of preference: the engine primed by
+        a previous call, this process's last :meth:`run`, or (with
+        ``resume=True`` and a ``checkpoint_dir``) the ``"incremental"``
+        or ``"claims"`` checkpoint — so resume and delta-apply compose:
+        a crashed session picks up exactly where the last applied delta
+        left the store.  Each successful call saves an ``"incremental"``
+        checkpoint with the post-delta claim corpus.
+
+        Returns an :class:`IncrementalReport`.
+        """
+        started = time.perf_counter()
+        self.metrics.counter("pipeline_incremental_runs_total").inc()
+        primed = False
+        resumed_from = None
+        if self.incremental_fusion is None:
+            resumed_from = self._prime_incremental(resume)
+            primed = True
+
+        outcome = self.incremental_fusion.apply_delta(delta)
+        engine = self.incremental_fusion.incremental
+        self.all_triples = engine.store.claims()
+        self.claims = engine.claims
+
+        evaluated = self._remap_for_evaluation(
+            outcome.result, self._incremental_entity_resolution
+        )
+        fusion_report = evaluate_fusion(self.world, evaluated)
+
+        sequence = self._incremental_offset + outcome.sequence
+        store = self._checkpoint_store()
+        if store is not None:
+            store.save(
+                "incremental",
+                {
+                    "all_triples": engine.store.claims(),
+                    "sequence": sequence,
+                    "entity_resolution": (
+                        self._incremental_entity_resolution
+                    ),
+                },
+            )
+        return IncrementalReport(
+            outcome=outcome,
+            fusion_result=outcome.result,
+            fusion_report=fusion_report,
+            sequence=sequence,
+            primed=primed,
+            resumed_from=resumed_from,
+            wall_seconds=time.perf_counter() - started,
+        )
 
     def _resolve_attributes(self, triples):
         profiles_by_class: dict[str, dict[str, set]] = {}

@@ -64,6 +64,16 @@ class StageTimeoutError(ReproError):
     """
 
 
+class DeltaError(ReproError):
+    """Raised for invalid incremental-update deltas or delta state.
+
+    Covers malformed :class:`repro.incremental.ClaimDelta` payloads,
+    applying a delta before the incremental engine was primed, and a
+    delta that would retract every remaining claim (an empty claim set
+    cannot be fused, so the engine refuses to commit it).
+    """
+
+
 class QuarantineOverflowError(ReproError):
     """Raised when the malformed-record quarantine exceeds its capacity.
 

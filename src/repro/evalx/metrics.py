@@ -47,9 +47,15 @@ def attribute_discovery_metrics(
     discovered: Iterable[str],
     gold: Iterable[str],
 ) -> PrecisionRecall:
-    """Score discovered attribute names against the gold universe."""
-    discovered_set = set(discovered)
-    gold_set = set(gold)
+    """Score discovered attribute names against the gold universe.
+
+    Both sides pass through the same :func:`value_key` normalisation
+    (whitespace-collapsed, case-folded) the rest of the evaluation
+    layer uses, so ``Capital`` discovered against ``capital`` gold is
+    one true positive, not a false positive plus a false negative.
+    """
+    discovered_set = {value_key(name) for name in discovered}
+    gold_set = {value_key(name) for name in gold}
     true_positives = len(discovered_set & gold_set)
     return PrecisionRecall(
         true_positives=true_positives,
@@ -70,14 +76,25 @@ def true_value_keys(
 def triple_precision(
     world: GroundTruthWorld, triples: Iterable[ScoredTriple]
 ) -> float:
-    """Fraction of extracted triples whose value is true."""
+    """Fraction of *distinct* extracted triples whose value is true.
+
+    Triples are deduplicated on ``(subject, predicate, value_key)``
+    before scoring: a source asserting the same triple under many
+    provenances states one fact, so repeats must not inflate (true
+    duplicates) or deflate (false duplicates) the precision.
+    """
+    seen: set[tuple[str, str, str]] = set()
     total = 0
     correct = 0
     for scored in triples:
         triple = scored.triple
+        key = (triple.subject, triple.predicate, value_key(triple.obj.lexical))
+        if key in seen:
+            continue
+        seen.add(key)
         total += 1
         truths = true_value_keys(world, triple.subject, triple.predicate)
-        if value_key(triple.obj.lexical) in truths:
+        if key[2] in truths:
             correct += 1
     return correct / total if total else 0.0
 

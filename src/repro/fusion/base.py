@@ -164,6 +164,30 @@ class FusionResult:
     def belief_of(self, item: Item, value: str) -> float:
         return self.belief.get((item, value), 0.0)
 
+    def canonical_bytes(self) -> bytes:
+        """Canonical byte serialization of the whole result.
+
+        Sorts every mapping, so two results with different dict
+        insertion orders but identical decisions, beliefs, source
+        qualities and round counts serialize identically.  This is
+        the equality the incremental subsystem's byte-identity
+        contract is stated in (``apply_delta`` vs full re-fusion at
+        ``tolerance=0``).
+        """
+        return repr(
+            (
+                self.method,
+                sorted(
+                    (item, sorted(values))
+                    for item, values in self.truths.items()
+                ),
+                sorted(self.belief.items()),
+                sorted(self.source_quality.items()),
+                self.iterations,
+                self.converged_at,
+            )
+        ).encode()
+
 
 class FusionMethod(abc.ABC):
     """Interface shared by every truth-discovery / fusion method."""

@@ -50,10 +50,25 @@ class KnowledgeFusion(FusionMethod):
         all claims); only the fixed-point fuse shards.  The last run's
         :class:`~repro.fusion.sharding.ShardStats` is kept in
         ``last_shard_stats`` (None on serial runs).
+    tolerance:
+        Optional convergence tolerance forwarded to the multi-truth
+        core; ``None`` keeps the core's own default.  ``tolerance=0``
+        pins the iteration count, which is the regime in which the
+        incremental engine's byte-identity contract holds.
     metrics:
         Optional :class:`repro.obs.MetricsRegistry` handed down to the
-        sharded fuse's MapReduce job (``mapreduce_*`` counters); the
+        sharded fuse's MapReduce job (``mapreduce_*`` counters) and to
+        the incremental engine (``incremental_*`` metrics); the
         pipeline passes its per-run registry here.
+
+    Incremental updates
+    -------------------
+    ``begin_incremental(store)`` primes an
+    :class:`~repro.incremental.engine.IncrementalFusion` over a triple
+    store and returns it; subsequent ``apply_delta(delta)`` calls
+    journal a :class:`~repro.incremental.delta.ClaimDelta` into the
+    store and re-fuse only the dirty connected components, reusing
+    cached verdicts everywhere else.
     """
 
     name = "knowledge-fusion"
@@ -69,6 +84,7 @@ class KnowledgeFusion(FusionMethod):
         prior: float = 0.3,
         threshold: float = 0.5,
         max_iterations: int = 20,
+        tolerance: float | None = None,
         parallelism: int = 1,
         fusion_executor: str = "serial",
         retry: RetryPolicy | None = None,
@@ -83,12 +99,14 @@ class KnowledgeFusion(FusionMethod):
         self.prior = prior
         self.threshold = threshold
         self.max_iterations = max_iterations
+        self.tolerance = tolerance
         self.parallelism = parallelism
         self.fusion_executor = fusion_executor
         self.retry = retry
         self.fault_plan = fault_plan
         self.metrics = metrics
         self.last_shard_stats = None
+        self.incremental = None
         self._casefold_hierarchy = (
             CasefoldHierarchy(hierarchy) if hierarchy is not None else None
         )
@@ -98,23 +116,15 @@ class KnowledgeFusion(FusionMethod):
         self._check_nonempty(claims)
         working = claims
         if self.use_extractor_correlations:
-            working = self._apply_extractor_weights(working)
+            working = self._apply_extractor_weights(
+                working, self._extractor_weights(working)
+            )
 
         source_weights: dict[str, float] | None = None
         if self.use_source_correlations:
-            estimator = CorrelationEstimator(by="source")
-            source_weights = estimator.estimate(working).weights
+            source_weights = self._source_weights(working)
 
-        base: FusionMethod = MultiTruth(
-            prior=self.prior,
-            threshold=self.threshold,
-            source_weights=source_weights,
-            use_confidence=self.use_confidence
-            or self.use_extractor_correlations,
-            max_iterations=self.max_iterations,
-        )
-        if self.hierarchy is not None:
-            base = HierarchicalFusion(base, self.hierarchy)
+        base = self._base_method(source_weights)
         if self.parallelism > 1:
             from repro.fusion.sharding import fuse_sharded
 
@@ -136,10 +146,94 @@ class KnowledgeFusion(FusionMethod):
         return result
 
     # ------------------------------------------------------------------
-    def _apply_extractor_weights(self, claims: ClaimSet) -> ClaimSet:
-        """Fold extractor-correlation discounts into claim confidences."""
+    # Incremental updates.
+
+    def begin_incremental(self, store, *, functional_refresh=None):
+        """Prime an incremental engine over ``store`` and return it.
+
+        ``store`` is a :class:`~repro.rdf.store.TripleStore` holding
+        the current claim corpus; the engine takes ownership of it
+        (deltas are journalled against internal copies and committed
+        atomically).  ``functional_refresh``, when given, is a
+        callable ``ClaimSet -> FunctionalOracle`` re-derived after
+        every delta (the ``functionality_source="estimated"`` mode of
+        the pipeline).  The engine is also kept on ``self.incremental``
+        so :meth:`apply_delta` can be called on the fusion object
+        directly.
+        """
+        from repro.incremental.engine import IncrementalFusion
+
+        self.incremental = IncrementalFusion(
+            self,
+            store,
+            functional_refresh=functional_refresh,
+            metrics=self.metrics,
+            fault_plan=self.fault_plan,
+        )
+        self.incremental.prime()
+        return self.incremental
+
+    def apply_delta(self, delta):
+        """Apply a :class:`ClaimDelta` to the primed incremental state.
+
+        Returns the engine's
+        :class:`~repro.incremental.engine.DeltaOutcome`; raises
+        :class:`~repro.errors.DeltaError` when no incremental engine
+        was primed via :meth:`begin_incremental`.
+        """
+        if self.incremental is None:
+            from repro.errors import DeltaError
+
+            raise DeltaError(
+                "apply_delta called before begin_incremental(store)"
+            )
+        return self.incremental.apply_delta(delta)
+
+    # ------------------------------------------------------------------
+    # Shared building blocks (also driven by the incremental engine,
+    # which must replay exactly this preparation to keep its
+    # byte-identity contract).
+
+    def _extractor_weights(self, claims: ClaimSet) -> dict[str, float]:
+        """Global extractor-correlation independence weights."""
         estimator = CorrelationEstimator(by="extractor")
-        weights = estimator.estimate(claims).weights
+        return estimator.estimate(claims).weights
+
+    def _source_weights(self, claims: ClaimSet) -> dict[str, float]:
+        """Source-correlation independence weights over ``claims``.
+
+        Sources in different connected components of the claim graph
+        share no items, so no dependence pair ever crosses a component
+        boundary: estimating per component and merging yields exactly
+        the global estimate (the incremental engine relies on this).
+        """
+        estimator = CorrelationEstimator(by="source")
+        return estimator.estimate(claims).weights
+
+    def _base_method(
+        self, source_weights: dict[str, float] | None
+    ) -> FusionMethod:
+        """The multi-truth core (hierarchy-wrapped when configured)."""
+        kwargs = {}
+        if self.tolerance is not None:
+            kwargs["tolerance"] = self.tolerance
+        base: FusionMethod = MultiTruth(
+            prior=self.prior,
+            threshold=self.threshold,
+            source_weights=source_weights,
+            use_confidence=self.use_confidence
+            or self.use_extractor_correlations,
+            max_iterations=self.max_iterations,
+            **kwargs,
+        )
+        if self.hierarchy is not None:
+            base = HierarchicalFusion(base, self.hierarchy)
+        return base
+
+    def _apply_extractor_weights(
+        self, claims: ClaimSet, weights: dict[str, float]
+    ) -> ClaimSet:
+        """Fold extractor-correlation discounts into claim confidences."""
         reweighted = ClaimSet()
         for claim in claims:
             weight = weights.get(claim.extractor_id, 1.0)

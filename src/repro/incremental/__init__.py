@@ -1,0 +1,54 @@
+"""Incremental updates: delta ingestion and dirty-component re-fusion.
+
+The paper's framework is batch-shaped — extract everything, then fuse
+everything — but a production system serves continuous traffic where
+new claims trickle in and retractions arrive out of band.  This
+package provides the update path:
+
+* :mod:`repro.incremental.delta` — the :class:`ClaimDelta` model (a
+  batch of added scored triples plus retracted triples) with a JSON
+  wire format for the CLI's ``--apply-delta``;
+* :mod:`repro.incremental.journal` — :class:`DeltaJournal`, which
+  applies deltas to a :class:`~repro.rdf.store.TripleStore` through
+  the store's existing ``add``/``remove`` paths and records a
+  :class:`DeltaReceipt` of dirty items/sources per delta;
+* :mod:`repro.incremental.engine` — :class:`IncrementalFusion`, which
+  keeps per-connected-component fusion results cached and, on each
+  delta, re-fuses only the *dirty* components (those whose claim
+  content changed), merging fresh verdicts with cached ones.
+
+Correctness contract: at ``tolerance=0`` the merged result of
+``apply_delta`` is byte-identical (on the canonical serialization of
+:meth:`~repro.fusion.base.FusionResult.canonical_bytes`) to a full
+re-fusion of the post-delta claim set — pinned by the seeded replay
+tests in ``tests/property/test_prop_incremental.py``.
+"""
+
+from repro.incremental.delta import (
+    ClaimDelta,
+    delta_from_json_dict,
+    delta_to_json_dict,
+    load_delta,
+    save_delta,
+)
+from repro.incremental.engine import (
+    ComponentEntry,
+    DeltaOutcome,
+    IncrementalFusion,
+    canonical_claims,
+)
+from repro.incremental.journal import DeltaJournal, DeltaReceipt
+
+__all__ = [
+    "ClaimDelta",
+    "ComponentEntry",
+    "DeltaJournal",
+    "DeltaOutcome",
+    "DeltaReceipt",
+    "IncrementalFusion",
+    "canonical_claims",
+    "delta_from_json_dict",
+    "delta_to_json_dict",
+    "load_delta",
+    "save_delta",
+]

@@ -1,0 +1,178 @@
+"""The delta model: a batch of added and retracted claims.
+
+A :class:`ClaimDelta` is the unit of incremental update: scored
+triples to add (new extractions that arrived since the last fusion)
+plus triples to retract (facts withdrawn by their source, takedowns,
+or corrections).  Retraction is triple-grained — it removes *every*
+provenance of the triple, mirroring :meth:`TripleStore.remove` — while
+additions carry full provenance and confidence.
+
+Deltas have a JSON wire format so they can be shipped to the CLI
+(``python -m repro pipeline --apply-delta deltas.json``)::
+
+    {
+      "label": "2026-08-06 crawl",
+      "added": [
+        {"subject": "country/au", "predicate": "capital",
+         "object": "Canberra", "kind": "string",
+         "source": "site-7", "extractor": "dom",
+         "locator": "https://...", "confidence": 0.9}
+      ],
+      "retracted": [
+        {"subject": "country/au", "predicate": "capital",
+         "object": "Sydney", "kind": "string"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import DeltaError
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value, ValueKind
+
+__all__ = [
+    "ClaimDelta",
+    "delta_from_json_dict",
+    "delta_to_json_dict",
+    "load_delta",
+    "save_delta",
+]
+
+
+@dataclass(slots=True)
+class ClaimDelta:
+    """One batch of incremental updates.
+
+    ``added`` are scored triples to ingest; ``retracted`` are triples
+    to withdraw across all their provenances.  Within one delta,
+    retractions apply before additions, so a delta can atomically
+    replace a value (retract the old triple, add the new one).
+    """
+
+    added: list[ScoredTriple] = field(default_factory=list)
+    retracted: list[Triple] = field(default_factory=list)
+    label: str = ""
+
+    def is_empty(self) -> bool:
+        return not self.added and not self.retracted
+
+    def validate(self) -> None:
+        """Raise :class:`DeltaError` on structurally invalid content."""
+        for scored in self.added:
+            if not isinstance(scored, ScoredTriple):
+                raise DeltaError(
+                    f"delta additions must be ScoredTriple, got "
+                    f"{type(scored).__name__}"
+                )
+        for triple in self.retracted:
+            if not isinstance(triple, Triple):
+                raise DeltaError(
+                    f"delta retractions must be Triple, got "
+                    f"{type(triple).__name__}"
+                )
+
+    def items(self) -> set[tuple[str, str]]:
+        """The data items this delta touches (added or retracted)."""
+        touched = {scored.triple.item for scored in self.added}
+        touched.update(triple.item for triple in self.retracted)
+        return touched
+
+
+# ----------------------------------------------------------------------
+# JSON wire format.
+
+
+def _triple_to_json(triple: Triple) -> dict:
+    return {
+        "subject": triple.subject,
+        "predicate": triple.predicate,
+        "object": triple.obj.lexical,
+        "kind": triple.obj.kind.value,
+    }
+
+
+def _triple_from_json(payload: dict) -> Triple:
+    try:
+        kind = ValueKind(payload.get("kind", "string"))
+        return Triple(
+            payload["subject"],
+            payload["predicate"],
+            Value(payload["object"], kind),
+        )
+    except (KeyError, ValueError) as exc:
+        raise DeltaError(f"malformed delta triple: {payload!r}") from exc
+
+
+def delta_to_json_dict(delta: ClaimDelta) -> dict:
+    """The JSON-serializable form of a delta (``json.dumps``-ready)."""
+    return {
+        "label": delta.label,
+        "added": [
+            {
+                **_triple_to_json(scored.triple),
+                "source": scored.provenance.source_id,
+                "extractor": scored.provenance.extractor_id,
+                "locator": scored.provenance.locator,
+                "confidence": scored.confidence,
+            }
+            for scored in delta.added
+        ],
+        "retracted": [
+            _triple_to_json(triple) for triple in delta.retracted
+        ],
+    }
+
+
+def delta_from_json_dict(payload: dict) -> ClaimDelta:
+    """Parse the JSON wire format back into a :class:`ClaimDelta`."""
+    if not isinstance(payload, dict):
+        raise DeltaError(
+            f"delta document must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    added = []
+    for record in payload.get("added", ()):
+        triple = _triple_from_json(record)
+        try:
+            provenance = Provenance(
+                record["source"],
+                record["extractor"],
+                record.get("locator", ""),
+            )
+            scored = ScoredTriple(
+                triple, provenance, float(record.get("confidence", 1.0))
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DeltaError(
+                f"malformed delta addition: {record!r}"
+            ) from exc
+        added.append(scored)
+    retracted = [
+        _triple_from_json(record)
+        for record in payload.get("retracted", ())
+    ]
+    return ClaimDelta(
+        added=added,
+        retracted=retracted,
+        label=str(payload.get("label", "")),
+    )
+
+
+def load_delta(path: str) -> ClaimDelta:
+    """Load a delta from a JSON file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DeltaError(f"cannot read delta file {path}: {exc}") from exc
+    return delta_from_json_dict(payload)
+
+
+def save_delta(delta: ClaimDelta, path: str) -> None:
+    """Write a delta as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(delta_to_json_dict(delta), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,115 @@
+"""Delta journaling against the triple store.
+
+The :class:`DeltaJournal` is the single write path of the incremental
+subsystem: it applies a :class:`~repro.incremental.delta.ClaimDelta`
+to a :class:`~repro.rdf.store.TripleStore` strictly through the
+store's existing ``add``/``remove`` operations (so the store's
+dedup/max-confidence semantics are the journal's semantics) and
+records, per delta, a :class:`DeltaReceipt` naming the *dirty* data
+items and sources — the seed set the fusion engine expands through
+the connected-component structure of the claim graph.
+
+Within one delta, retractions apply before additions, so a delta can
+atomically replace a value for an item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.incremental.delta import ClaimDelta
+from repro.rdf.store import TripleStore
+
+__all__ = ["DeltaJournal", "DeltaReceipt"]
+
+Item = tuple[str, str]
+
+
+@dataclass(slots=True)
+class DeltaReceipt:
+    """What one applied delta touched.
+
+    ``added`` counts store insertions that changed state (brand-new
+    claims or confidence refreshes); ``noop_additions`` counts adds
+    the store deduplicated away; ``removed_claims`` counts the claim
+    (triple, provenance) pairs a retraction dropped, and
+    ``missing_retractions`` the retracted triples that were not in
+    the store at all.  ``dirty_items`` / ``dirty_sources`` name every
+    data item and source whose claim content may have changed —
+    including the sources of removed claims, captured *before* the
+    removal.
+    """
+
+    sequence: int
+    label: str = ""
+    added: int = 0
+    noop_additions: int = 0
+    removed_claims: int = 0
+    missing_retractions: int = 0
+    dirty_items: set[Item] = field(default_factory=set)
+    dirty_sources: set[str] = field(default_factory=set)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "sequence": self.sequence,
+            "label": self.label,
+            "added": self.added,
+            "noop_additions": self.noop_additions,
+            "removed_claims": self.removed_claims,
+            "missing_retractions": self.missing_retractions,
+            "dirty_items": sorted(self.dirty_items),
+            "dirty_sources": sorted(self.dirty_sources),
+        }
+
+
+class DeltaJournal:
+    """Apply deltas to a store, keeping an ordered receipt trail."""
+
+    def __init__(self, store: TripleStore) -> None:
+        self.store = store
+        self.receipts: list[DeltaReceipt] = []
+
+    def apply(self, delta: ClaimDelta) -> DeltaReceipt:
+        """Apply one delta; returns (and records) its receipt."""
+        delta.validate()
+        receipt = DeltaReceipt(
+            sequence=len(self.receipts), label=delta.label
+        )
+
+        # Retractions first: capture the sources that held the triple
+        # before the store forgets them.
+        for triple in delta.retracted:
+            victims = self.store.claims(triple)
+            removed = self.store.remove(triple)
+            if removed:
+                receipt.removed_claims += removed
+                receipt.dirty_items.add(triple.item)
+                receipt.dirty_sources.update(
+                    scored.provenance.source_id for scored in victims
+                )
+            else:
+                receipt.missing_retractions += 1
+
+        for scored in delta.added:
+            before = len(self.store)
+            self.store.add(scored)
+            if len(self.store) != before:
+                receipt.added += 1
+            else:
+                # Same (triple, provenance) key: the store either kept
+                # the old claim (duplicate with <= confidence — a
+                # no-op) or installed this one (a confidence refresh);
+                # the two are told apart by object identity.
+                refreshed = any(
+                    existing is scored
+                    for existing in self.store.claims(scored.triple)
+                )
+                if refreshed:
+                    receipt.added += 1
+                else:
+                    receipt.noop_additions += 1
+            receipt.dirty_items.add(scored.triple.item)
+            receipt.dirty_sources.add(scored.provenance.source_id)
+
+        self.receipts.append(receipt)
+        return receipt

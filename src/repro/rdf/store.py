@@ -75,15 +75,45 @@ class TripleStore:
             self.add(one)
 
     def remove(self, triple: Triple) -> int:
-        """Remove every claim of ``triple``; returns how many were removed."""
+        """Remove every claim of ``triple``; returns how many were removed.
+
+        The SPO/POS/OSP indexes are pruned all the way up: emptied
+        inner sets and dicts are deleted, so ``subjects()``,
+        ``predicates()`` and the match paths never report ghost
+        entries for fully-removed triples.  (The index entry for the
+        exact ``(s, p, o)`` can always be dropped — removal covers
+        every provenance of the triple, so nothing survives that
+        could still need it.)
+        """
         keys = [key for key in self._claims if key[0] == triple]
         for key in keys:
             del self._claims[key]
         if keys:
-            self._spo[triple.subject][triple.predicate].discard(triple.obj)
-            self._pos[triple.predicate][triple.obj].discard(triple.subject)
-            self._osp[triple.obj][triple.subject].discard(triple.predicate)
+            self._discard_pruning(
+                self._spo, triple.subject, triple.predicate, triple.obj
+            )
+            self._discard_pruning(
+                self._pos, triple.predicate, triple.obj, triple.subject
+            )
+            self._discard_pruning(
+                self._osp, triple.obj, triple.subject, triple.predicate
+            )
         return len(keys)
+
+    @staticmethod
+    def _discard_pruning(index: dict, first, second, leaf) -> None:
+        """Drop ``leaf`` from ``index[first][second]``, pruning empties."""
+        by_second = index.get(first)
+        if by_second is None:
+            return
+        leaves = by_second.get(second)
+        if leaves is None:
+            return
+        leaves.discard(leaf)
+        if not leaves:
+            del by_second[second]
+        if not by_second:
+            del index[first]
 
     # ------------------------------------------------------------------
     # Lookup

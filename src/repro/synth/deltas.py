@@ -1,0 +1,155 @@
+"""Synthetic delta streams for the incremental-fusion experiments.
+
+Takes the claim corpus of a :func:`~repro.synth.claims.generate_claim_world`
+world and replays it as a *base* batch followed by a stream of
+:class:`~repro.incremental.delta.ClaimDelta` batches — new claims
+arriving, earlier triples being retracted, and some retracted triples
+re-appearing later.  The split is seeded, so the property tests can
+assert the incremental engine's byte-identity contract across many
+random (base, delta₁, delta₂, …) decompositions of the same corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import GenerationError
+from repro.fusion.base import Claim
+from repro.incremental.delta import ClaimDelta
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+
+__all__ = [
+    "DeltaStreamConfig",
+    "generate_delta_stream",
+    "scored_from_claims",
+]
+
+
+def scored_from_claims(claims) -> list[ScoredTriple]:
+    """Convert fusion :class:`Claim` objects back into scored triples.
+
+    The synthetic claim worlds produce claims directly; the incremental
+    subsystem journals scored triples through the store.  The mapping
+    is lossless for fusion purposes: item → (subject, predicate),
+    lexical → string-valued object, source/extractor → provenance.
+    """
+    scored: list[ScoredTriple] = []
+    for claim in claims:
+        if not isinstance(claim, Claim):
+            raise GenerationError(
+                f"expected fusion Claim, got {type(claim).__name__}"
+            )
+        scored.append(
+            ScoredTriple(
+                Triple(
+                    claim.item[0],
+                    claim.item[1],
+                    Value.string(claim.lexical),
+                ),
+                Provenance(claim.source_id, claim.extractor_id),
+                claim.confidence,
+            )
+        )
+    return scored
+
+
+@dataclass(slots=True)
+class DeltaStreamConfig:
+    """Parameters of a synthetic (base, deltas) decomposition."""
+
+    seed: int = 0
+    # How many deltas the non-base remainder is split into.
+    parts: int = 3
+    # Fraction of the (shuffled) corpus that forms the base batch.
+    base_fraction: float = 0.5
+    # Per delta: retractions as a fraction of that delta's additions.
+    retract_fraction: float = 0.1
+    # Fraction of each delta's retractions re-added by the next delta.
+    readd_fraction: float = 0.5
+
+    def validate(self) -> None:
+        if self.parts < 1:
+            raise GenerationError("parts must be >= 1")
+        if not 0 < self.base_fraction < 1:
+            raise GenerationError("base_fraction must lie in (0, 1)")
+        if not 0 <= self.retract_fraction < 1:
+            raise GenerationError("retract_fraction must lie in [0, 1)")
+        if not 0 <= self.readd_fraction <= 1:
+            raise GenerationError("readd_fraction must lie in [0, 1]")
+
+
+def generate_delta_stream(
+    scored: list[ScoredTriple],
+    config: DeltaStreamConfig | None = None,
+) -> tuple[list[ScoredTriple], list[ClaimDelta]]:
+    """Split a claim corpus into a base batch plus a delta stream.
+
+    Returns ``(base, deltas)``: prime a store on ``base``, then apply
+    each delta in order.  Deltas interleave additions (fresh chunks of
+    the shuffled corpus, plus re-adds of previously retracted triples)
+    with retractions sampled from the triples live at that point.
+    """
+    cfg = config or DeltaStreamConfig()
+    cfg.validate()
+    if not scored:
+        raise GenerationError("cannot split an empty claim corpus")
+    rng = random.Random(cfg.seed)
+    pool = list(scored)
+    rng.shuffle(pool)
+
+    n_base = max(1, int(len(pool) * cfg.base_fraction))
+    base = pool[:n_base]
+    rest = pool[n_base:]
+    chunk = -(-len(rest) // cfg.parts) if rest else 0  # ceil division
+
+    claims_of: dict[Triple, list[ScoredTriple]] = {}
+    for one in pool:
+        claims_of.setdefault(one.triple, []).append(one)
+
+    # Triples currently live, in first-application order (a list so
+    # rng.sample stays deterministic).
+    live: list[Triple] = []
+    seen: set[Triple] = set()
+
+    def note(added: list[ScoredTriple]) -> None:
+        for one in added:
+            if one.triple not in seen:
+                seen.add(one.triple)
+                live.append(one.triple)
+
+    note(base)
+    deltas: list[ClaimDelta] = []
+    pending_readds: list[ScoredTriple] = []
+    for index in range(cfg.parts):
+        additions = (
+            rest[index * chunk:(index + 1) * chunk] if chunk else []
+        )
+        additions = list(additions) + pending_readds
+        pending_readds = []
+
+        added_triples = {one.triple for one in additions}
+        candidates = [
+            triple for triple in live if triple not in added_triples
+        ]
+        wanted = int(round(cfg.retract_fraction * len(additions)))
+        # Never retract the whole store.
+        wanted = min(wanted, len(candidates), max(0, len(live) - 1))
+        retractions = rng.sample(candidates, wanted) if wanted else []
+        for triple in retractions:
+            live.remove(triple)
+            seen.discard(triple)
+
+        readd = int(round(cfg.readd_fraction * len(retractions)))
+        for triple in retractions[:readd]:
+            pending_readds.extend(claims_of[triple])
+
+        deltas.append(
+            ClaimDelta(
+                added=additions,
+                retracted=retractions,
+                label=f"delta-{index}",
+            )
+        )
+        note(additions)
+    return base, deltas

@@ -1,0 +1,103 @@
+"""Seeded replay property: delta-apply is byte-identical to full
+re-fusion.
+
+For each seed, a synthetic claim stream is split at random into a base
+corpus plus a sequence of deltas (additions, retractions and re-adds,
+all drawn by a seeded RNG in :mod:`repro.synth.deltas`).  An
+:class:`IncrementalFusion` primed on the base then applies each delta;
+after every step its merged result must be byte-identical — via
+:meth:`FusionResult.canonical_bytes` at ``tolerance=0`` — to a fresh
+full fusion of a reference store journalled with the same deltas.
+"""
+
+import pytest
+
+from repro.fusion.knowledge_fusion import KnowledgeFusion
+from repro.incremental import DeltaJournal, canonical_claims
+from repro.rdf.store import TripleStore
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+from repro.synth.deltas import (
+    DeltaStreamConfig,
+    generate_delta_stream,
+    scored_from_claims,
+)
+
+
+def _fusion():
+    return KnowledgeFusion(tolerance=0.0, max_iterations=8)
+
+
+def _stream(seed, parts=3):
+    world = generate_claim_world(
+        ClaimWorldConfig(seed=seed, n_items=10, n_sources=5)
+    )
+    scored = scored_from_claims(world.claims)
+    return generate_delta_stream(
+        scored,
+        DeltaStreamConfig(seed=seed, parts=parts),
+    )
+
+
+@pytest.mark.parametrize("seed", [3, 11, 29])
+def test_replayed_splits_stay_byte_identical(seed):
+    base, deltas = _stream(seed)
+    assert len(deltas) == 3
+
+    base_store = TripleStore()
+    base_store.add_all(base)
+    reference_store = base_store.copy()
+    reference_journal = DeltaJournal(reference_store)
+
+    engine = _fusion().begin_incremental(base_store)
+    assert (
+        engine.result.canonical_bytes()
+        == _fusion().fuse(canonical_claims(reference_store)).canonical_bytes()
+    )
+
+    for index, delta in enumerate(deltas, start=1):
+        outcome = engine.apply_delta(delta)
+        reference_journal.apply(delta)
+        reference = _fusion().fuse(canonical_claims(reference_store))
+        assert outcome.sequence == index
+        assert (
+            outcome.result.canonical_bytes() == reference.canonical_bytes()
+        ), f"seed {seed}: delta {index} diverged from full re-fusion"
+
+
+@pytest.mark.parametrize("seed", [7, 19])
+def test_split_position_is_irrelevant(seed):
+    """Base/delta boundary placement never changes the final verdicts:
+    every split of the same stream converges to the same bytes."""
+    finals = []
+    for base_fraction in (0.3, 0.7):
+        world = generate_claim_world(
+            ClaimWorldConfig(seed=seed, n_items=8, n_sources=4)
+        )
+        scored = scored_from_claims(world.claims)
+        base, deltas = generate_delta_stream(
+            scored,
+            DeltaStreamConfig(
+                seed=seed,
+                parts=2,
+                base_fraction=base_fraction,
+                retract_fraction=0.0,  # keep the final claim set equal
+            ),
+        )
+        store = TripleStore()
+        store.add_all(base)
+        engine = _fusion().begin_incremental(store)
+        for delta in deltas:
+            engine.apply_delta(delta)
+        finals.append(engine.result.canonical_bytes())
+    assert finals[0] == finals[1]
+
+
+def test_stream_generator_is_deterministic():
+    first = _stream(23)
+    second = _stream(23)
+    assert [s.triple for s in first[0]] == [s.triple for s in second[0]]
+    for delta_a, delta_b in zip(first[1], second[1]):
+        assert [s.triple for s in delta_a.added] == [
+            s.triple for s in delta_b.added
+        ]
+        assert delta_a.retracted == delta_b.retracted

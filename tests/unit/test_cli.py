@@ -164,3 +164,40 @@ class TestQueryCommand:
             ]
         ) == 0
         assert "1 solutions" in capsys.readouterr().out
+
+
+class TestApplyDelta:
+    def test_flag_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["pipeline", "--apply-delta", "a.json", "--apply-delta", "b.json"]
+        )
+        assert args.apply_delta == ["a.json", "b.json"]
+        assert build_parser().parse_args(["pipeline"]).apply_delta == []
+
+    def test_pipeline_applies_delta_file(self, tmp_path, capsys):
+        delta_path = tmp_path / "delta.json"
+        delta_path.write_text(
+            json.dumps(
+                {
+                    "label": "cli-test",
+                    "added": [
+                        {
+                            "subject": "delta/test-entity",
+                            "predicate": "capital",
+                            "object": "Testville",
+                            "kind": "string",
+                            "source": "delta-src",
+                            "extractor": "dom",
+                            "confidence": 0.9,
+                        }
+                    ],
+                    "retracted": [],
+                }
+            )
+        )
+        assert main(["pipeline", "--apply-delta", str(delta_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"delta #1 ({delta_path})" in out
+        assert "+1 claims" in out
+        assert "re-fused" in out
+        assert "verdicts reused" in out

@@ -42,6 +42,23 @@ class TestAttributeDiscoveryMetrics:
         assert pr.precision == 0.0
         assert pr.recall == 0.0
 
+    def test_case_and_whitespace_variants_match(self):
+        # Regression: 'Capital' discovered vs 'capital' gold used to
+        # score as one false positive plus one false negative.
+        pr = attribute_discovery_metrics(
+            ["Capital", "  birth   Place "], ["capital", "birth place"]
+        )
+        assert pr.true_positives == 2
+        assert pr.precision == 1.0 and pr.recall == 1.0
+
+    def test_variants_collapse_on_each_side(self):
+        # Same attribute under two casings is ONE discovery, not two.
+        pr = attribute_discovery_metrics(
+            ["Capital", "capital", "wrong"], ["capital"]
+        )
+        assert pr.true_positives == 1
+        assert pr.false_positives == 1
+
 
 class TestWorldTruthHelpers:
     def test_true_value_keys_casefolded(self, world):
@@ -71,6 +88,33 @@ class TestWorldTruthHelpers:
         )
         assert triple_precision(world, [good, bad]) == 0.5
         assert triple_precision(world, []) == 0.0
+
+    def test_triple_precision_ignores_duplicate_provenances(self, world):
+        # Regression: the same true triple under many provenances used
+        # to inflate precision (and a repeated false one deflate it) —
+        # duplicates must collapse to one distinct fact before scoring.
+        entity = world.entities("Book")[0]
+        good = None
+        for attribute in world.attribute_names("Book"):
+            leaves = sorted(
+                world.true_leaf_values(entity.entity_id, attribute)
+            )
+            if leaves:
+                good = Triple(entity.entity_id, attribute, Value(leaves[0]))
+                break
+        bad = Triple(entity.entity_id, "author", Value("zz-wrong-zz"))
+        triples = [
+            ScoredTriple(good, Provenance(f"site-{i}", "dom", f"page-{i}"))
+            for i in range(5)
+        ] + [ScoredTriple(bad, Provenance("x", "dom"))]
+        assert triple_precision(world, triples) == 0.5
+        # Case variants of the same value are the same fact too.
+        variant = ScoredTriple(
+            Triple(good.subject, good.predicate,
+                   Value(good.obj.lexical.upper())),
+            Provenance("y", "text"),
+        )
+        assert triple_precision(world, triples + [variant]) == 0.5
 
 
 class TestEvaluateFusion:

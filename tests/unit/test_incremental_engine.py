@@ -1,0 +1,211 @@
+"""Unit tests for the dirty-component incremental fusion engine."""
+
+import pytest
+
+from repro.errors import DeltaError
+from repro.fusion.correlations import CorrelationEstimator
+from repro.fusion.knowledge_fusion import KnowledgeFusion
+from repro.fusion.sharding import shard_claims
+from repro.incremental import ClaimDelta, IncrementalFusion, canonical_claims
+from repro.obs import MetricsRegistry
+from repro.rdf.store import TripleStore
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+from repro.synth.deltas import scored_from_claims
+
+
+def _corpus(n_worlds=6, n_items=6, n_sources=4):
+    """Disjoint claim worlds — one connected component per world."""
+    scored = []
+    for index in range(n_worlds):
+        world = generate_claim_world(
+            ClaimWorldConfig(
+                seed=400 + index, n_items=n_items, n_sources=n_sources
+            )
+        )
+        for one in scored_from_claims(world.claims):
+            triple = one.triple
+            scored.append(
+                ScoredTriple(
+                    Triple(
+                        f"w{index}/{triple.subject}",
+                        triple.predicate,
+                        triple.obj,
+                    ),
+                    Provenance(
+                        f"w{index}/{one.provenance.source_id}",
+                        one.provenance.extractor_id,
+                        one.provenance.locator,
+                    ),
+                    one.confidence,
+                )
+            )
+    store = TripleStore()
+    store.add_all(scored)
+    return store
+
+
+def _fusion(**kwargs):
+    return KnowledgeFusion(tolerance=0.0, max_iterations=8, **kwargs)
+
+
+def _component_delta(store, value="fresh-value"):
+    """A delta confined to the component of the first subject."""
+    first = min(scored.triple.subject for scored in store.claims())
+    prefix = first.split("/", 1)[0]
+    return ClaimDelta(
+        added=[
+            ScoredTriple(
+                Triple(first, "capital", Value(value)),
+                Provenance(f"{prefix}/source00", "synthetic"),
+                0.8,
+            )
+        ],
+        label="one-component",
+    )
+
+
+class TestPrime:
+    def test_prime_matches_full_fusion(self):
+        store = _corpus()
+        reference = _fusion().fuse(canonical_claims(store.copy()))
+        engine = _fusion().begin_incremental(store)
+        assert engine.result.canonical_bytes() == reference.canonical_bytes()
+
+    def test_components_counted(self):
+        engine = _fusion().begin_incremental(_corpus(n_worlds=5))
+        assert engine.components == 5
+
+    def test_sequence_starts_at_zero(self):
+        engine = _fusion().begin_incremental(_corpus(n_worlds=2))
+        assert engine.sequence == 0
+
+    def test_unprimed_engine_refuses_state_access(self):
+        engine = IncrementalFusion(_fusion(), _corpus(n_worlds=2))
+        with pytest.raises(DeltaError):
+            engine.claims
+        with pytest.raises(DeltaError):
+            engine.result
+        with pytest.raises(DeltaError):
+            engine.apply_delta(ClaimDelta())
+
+    def test_apply_delta_before_begin_incremental_rejected(self):
+        with pytest.raises(DeltaError):
+            _fusion().apply_delta(ClaimDelta())
+
+
+class TestApplyDelta:
+    def test_single_component_delta_reuses_the_rest(self):
+        engine = _fusion().begin_incremental(_corpus())
+        outcome = engine.apply_delta(_component_delta(engine.store))
+        assert outcome.sequence == 1
+        assert outcome.components == 6
+        assert outcome.dirty_components == 1
+        assert outcome.reused_components == 5
+        assert outcome.reused_verdicts > 0
+        assert not outcome.degenerate
+        assert outcome.receipt.added == 1
+
+    def test_delta_result_matches_full_refusion(self):
+        engine = _fusion().begin_incremental(_corpus())
+        engine.apply_delta(_component_delta(engine.store))
+        reference = _fusion().fuse(canonical_claims(engine.store.copy()))
+        assert engine.result.canonical_bytes() == reference.canonical_bytes()
+
+    def test_empty_delta_dirties_nothing(self):
+        engine = _fusion().begin_incremental(_corpus(n_worlds=4))
+        before = engine.result.canonical_bytes()
+        outcome = engine.apply_delta(ClaimDelta(label="noop"))
+        assert outcome.dirty_components == 0
+        assert outcome.reused_components == 4
+        assert engine.result.canonical_bytes() == before
+
+    def test_retraction_dirties_its_component(self):
+        engine = _fusion().begin_incremental(_corpus())
+        victim = engine.store.claims()[0].triple
+        outcome = engine.apply_delta(ClaimDelta(retracted=[victim]))
+        assert outcome.dirty_components == 1
+        assert outcome.receipt.removed_claims >= 1
+        assert victim not in engine.store
+        reference = _fusion().fuse(canonical_claims(engine.store.copy()))
+        assert engine.result.canonical_bytes() == reference.canonical_bytes()
+
+    def test_sequence_advances_per_delta(self):
+        engine = _fusion().begin_incremental(_corpus(n_worlds=3))
+        for expected in (1, 2, 3):
+            outcome = engine.apply_delta(
+                _component_delta(engine.store, value=f"v{expected}")
+            )
+            assert outcome.sequence == expected
+        assert engine.sequence == 3
+
+    def test_retracting_every_claim_rejected_and_state_kept(self):
+        engine = _fusion().begin_incremental(_corpus(n_worlds=2))
+        before_bytes = engine.result.canonical_bytes()
+        before_claims = len(engine.store)
+        wipe = ClaimDelta(
+            retracted=[scored.triple for scored in engine.store.claims()]
+        )
+        with pytest.raises(DeltaError):
+            engine.apply_delta(wipe)
+        # The failed delta must not leak into the visible state.
+        assert len(engine.store) == before_claims
+        assert engine.result.canonical_bytes() == before_bytes
+        assert engine.sequence == 0
+
+    def test_cached_results_survive_caller_mutation(self):
+        engine = _fusion().begin_incremental(_corpus(n_worlds=3))
+        outcome = engine.apply_delta(ClaimDelta(label="noop"))
+        # Trash the returned truth sets...
+        for values in outcome.result.truths.values():
+            values.clear()
+        # ...then re-apply: the merged result must be rebuilt intact.
+        fresh = engine.apply_delta(ClaimDelta(label="noop-2"))
+        assert all(values for values in fresh.result.truths.values())
+        reference = _fusion().fuse(canonical_claims(engine.store.copy()))
+        assert fresh.result.canonical_bytes() == reference.canonical_bytes()
+
+    def test_outcome_json_dict_shape(self):
+        engine = _fusion().begin_incremental(_corpus(n_worlds=2))
+        payload = engine.apply_delta(_component_delta(engine.store)).to_json_dict()
+        assert payload["sequence"] == 1
+        assert payload["components"] == 2
+        assert payload["dirty_components"] == 1
+        assert payload["receipt"]["added"] == 1
+        assert payload["fused_items"] == len(engine.result.truths)
+        assert payload["wall_seconds"] >= 0.0
+
+
+class TestMetrics:
+    def test_counters_and_gauges_published(self):
+        registry = MetricsRegistry()
+        engine = _fusion(metrics=registry).begin_incremental(
+            _corpus(n_worlds=3)
+        )
+        engine.apply_delta(_component_delta(engine.store))
+        snapshot = registry.snapshot()
+        assert snapshot.counters["incremental_primes_total"] == 1
+        assert snapshot.counters["incremental_deltas_total"] == 1
+        assert snapshot.counters["incremental_dirty_components"] == 1
+        assert snapshot.counters["incremental_reused_verdicts"] > 0
+        assert snapshot.counters["incremental_claims_added_total"] == 1
+        assert snapshot.gauges["incremental_components"] == 3
+        assert snapshot.histograms["incremental_delta_seconds"].count == 1
+
+
+class TestPerComponentEquivalence:
+    def test_source_weights_split_like_components(self):
+        """Per-component source-correlation weights equal the global
+        estimate restricted to the component (no cross-component pair
+        ever shares an item)."""
+        store = _corpus(n_worlds=4)
+        claims = canonical_claims(store)
+        global_weights = CorrelationEstimator(by="source").estimate(
+            claims
+        ).weights
+        for shard in shard_claims(claims):
+            local = CorrelationEstimator(by="source").estimate(shard).weights
+            for source in shard.sources():
+                assert local.get(source, 1.0) == pytest.approx(
+                    global_weights.get(source, 1.0)
+                )

@@ -128,3 +128,59 @@ class TestMutation:
 
     def test_iteration_yields_claims(self, store):
         assert len(list(store)) == 4
+
+
+class TestIndexConsistencyAfterRemoval:
+    """Regression: remove() used to leave ghost entries in the
+    SPO/POS/OSP indexes (empty leaf sets and empty inner dicts), so
+    subjects()/predicates() reported identifiers with no claims."""
+
+    def test_no_ghost_subject_after_full_removal(self):
+        s = TripleStore()
+        s.add(claim("spain", "capital", "Madrid"))
+        s.remove(Triple("spain", "capital", Value("Madrid")))
+        assert s.subjects() == set()
+        assert s.predicates() == set()
+        assert s.match() == []
+
+    def test_sibling_entries_survive_pruning(self, store):
+        store.remove(Triple("france", "capital", Value("Paris")))
+        assert "france" in store.subjects()
+        assert store.predicates("france") == {"capital", "population"}
+        assert store.objects("france", "capital") == {Value("Lyon")}
+        store.remove(Triple("france", "capital", Value("Lyon")))
+        assert store.predicates("france") == {"population"}
+        assert "capital" in store.predicates()  # germany still has one
+
+    def test_interleaved_add_remove_readd_agree(self):
+        s = TripleStore()
+        triple = Triple("france", "capital", Value("Paris"))
+        s.add(claim("france", "capital", "Paris", source="a", conf=0.9))
+        s.add(claim("france", "capital", "Paris", source="b", conf=0.7))
+        s.remove(triple)
+        s.add(claim("france", "capital", "Paris", source="b", conf=0.4))
+        # __contains__, __len__ and iteration must tell one story.
+        assert triple in s
+        assert len(s) == 1
+        listed = list(s)
+        assert len(listed) == 1
+        assert listed[0].provenance.source_id == "b"
+        assert s.claims(triple) == listed
+        assert {scored.triple for scored in s} == {triple}
+
+    def test_lower_confidence_readd_after_remove_sticks(self):
+        # After a removal the old max-confidence entry is gone, so a
+        # re-add at lower confidence must install, not be dropped by
+        # the max-confidence dedup.
+        s = TripleStore()
+        triple = Triple("x", "p", Value("v"))
+        s.add(claim("x", "p", "v", conf=0.9))
+        s.remove(triple)
+        s.add(claim("x", "p", "v", conf=0.2))
+        assert [scored.confidence for scored in s.claims(triple)] == [0.2]
+
+    def test_removed_value_vanishes_from_all_match_paths(self, store):
+        store.remove(Triple("france", "capital", Value("Paris")))
+        assert store.match(subject="france", obj=Value("Paris")) == []
+        assert store.match(predicate="capital", obj=Value("Paris")) == []
+        assert store.match(obj=Value("Paris")) == []
