@@ -41,6 +41,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable new-entity creation from unknown page headings",
     )
     pipeline.add_argument(
+        "--no-entity-blocking", action="store_true",
+        help="disable MinHash/LSH blocking in entity matching and use "
+        "the reference brute-force scans (verdicts are identical; "
+        "only speed changes)",
+    )
+    pipeline.add_argument(
         "--export", metavar="PATH",
         help="write the augmented Freebase snapshot's claims as TSV",
     )
@@ -169,6 +175,7 @@ def _run_pipeline(args) -> int:
         world=WorldConfig(seed=args.seed),
         querylog=QueryLogConfig(scale=args.query_scale),
         discover_new_entities=args.discover_entities,
+        entity_blocking=not args.no_entity_blocking,
         parallelism=args.parallel,
         stage_executor=args.stage_executor,
         fusion_parallelism=args.fusion_parallel,

@@ -71,6 +71,7 @@ _FINGERPRINT_FIELDS = (
     "discover_new_entities",
     "functionality_source",
     "resolve_attributes",
+    "entity_blocking",
 )
 
 

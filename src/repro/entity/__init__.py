@@ -1,5 +1,12 @@
 """Entity layer: linking, joint discovery, attribute resolution."""
 
+from repro.entity.blocking import (
+    BlockingStats,
+    MinHashLSH,
+    QGramIndex,
+    SurfaceBlockingIndex,
+    shingle_surface,
+)
 from repro.entity.discovery import (
     EntityCluster,
     JointEntityResolver,
@@ -10,8 +17,11 @@ from repro.entity.discovery import (
 from repro.entity.linking import (
     EntityLinker,
     LinkDecision,
+    SurfaceForm,
+    form_similarity,
     is_mention,
     mention_subject,
+    surface_similarity,
 )
 from repro.entity.resolution import (
     AttributeResolution,
@@ -23,15 +33,23 @@ from repro.entity.resolution import (
 __all__ = [
     "AttributeResolution",
     "AttributeResolver",
+    "BlockingStats",
     "EntityCluster",
     "EntityLinker",
     "JointEntityResolver",
     "LinkDecision",
     "MentionRecord",
+    "MinHashLSH",
+    "QGramIndex",
     "ResolutionOutcome",
+    "SurfaceBlockingIndex",
+    "SurfaceForm",
     "apply_resolution",
     "build_value_profiles",
+    "form_similarity",
     "is_mention",
     "mention_subject",
     "resolve_mention_triples",
+    "shingle_surface",
+    "surface_similarity",
 ]

@@ -13,15 +13,32 @@ The clustering is greedy agglomerative over a combined signal:
 * name similarity between mention surface and cluster name, and
 * attribute overlap: Jaccard of (attribute, value) pairs observed with
   the mention vs. the cluster profile.
+
+With ``blocking`` on (the default) each class keeps a
+:class:`repro.entity.blocking.SurfaceBlockingIndex` over its clusters,
+grown as clusters are created and joined; an unlinked mention is scored
+only against the clusters the index proposes (in creation order, so the
+greedy argmax ties break exactly like the full scan).  Unlike the
+linker there is no tier-1 exact shortcut here — an exact surface match
+does not imply the best blended score, because the profile term can
+favour another cluster.  ``blocking=False`` keeps the reference scan
+over every cluster of the class.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.entity.blocking import (
+    DEFAULT_BRUTE_FLOOR,
+    BlockingStats,
+    SurfaceBlockingIndex,
+)
 from repro.entity.linking import (
     EntityLinker,
     LinkDecision,
+    SurfaceForm,
+    form_similarity,
     is_mention,
     mention_subject,
     surface_similarity,
@@ -68,6 +85,30 @@ class ResolutionOutcome:
         return [cluster.to_entity() for cluster in self.clusters]
 
 
+class _ClassBlock:
+    """Blocking state for one class: index + per-cluster surface forms."""
+
+    __slots__ = ("index", "forms")
+
+    def __init__(self) -> None:
+        self.index = SurfaceBlockingIndex()
+        # cluster ordinal -> forms of its distinct surfaces.
+        self.forms: list[list[SurfaceForm]] = []
+
+    def new_cluster(self, form: SurfaceForm, facts) -> None:
+        ordinal = len(self.forms)
+        self.forms.append([form])
+        self.index.add(ordinal, form.norm, form.content_tokens)
+        for pair in facts:
+            self.index.add_pair(ordinal, pair)
+
+    def join(self, ordinal: int, form: SurfaceForm, new_facts) -> None:
+        self.forms[ordinal].append(form)
+        self.index.add(ordinal, form.norm, form.content_tokens)
+        for pair in new_facts:
+            self.index.add_pair(ordinal, pair)
+
+
 class JointEntityResolver:
     """Greedy joint linking + discovery over a stream of mentions."""
 
@@ -77,12 +118,17 @@ class JointEntityResolver:
         *,
         cluster_threshold: float = 0.82,
         profile_weight: float = 0.35,
+        blocking: bool = True,
+        brute_floor: int = DEFAULT_BRUTE_FLOOR,
     ) -> None:
         if not 0 <= profile_weight <= 1:
             raise ValueError("profile_weight must lie in [0, 1]")
         self.linker = linker
         self.cluster_threshold = cluster_threshold
         self.profile_weight = profile_weight
+        self.blocking = blocking
+        self.brute_floor = brute_floor
+        self.blocking_stats = BlockingStats("discovery")
 
     def resolve(self, mentions: list[MentionRecord]) -> ResolutionOutcome:
         """Resolve all mentions jointly.
@@ -92,6 +138,8 @@ class JointEntityResolver:
         """
         outcome = ResolutionOutcome()
         clusters_by_class: dict[str, list[EntityCluster]] = {}
+        blocks: dict[str, _ClassBlock] = {}
+        stats = self.blocking_stats
         counter = 0
         for mention in sorted(
             mentions, key=lambda record: (-len(record.surface), record.surface)
@@ -104,12 +152,50 @@ class JointEntityResolver:
                 continue
             clusters = clusters_by_class.setdefault(mention.class_name, [])
             best_cluster: EntityCluster | None = None
+            best_ordinal = -1
             best_score = 0.0
-            for cluster in clusters:
-                score = self._cluster_score(mention, cluster)
-                if score > best_score:
-                    best_cluster, best_score = cluster, score
+            if self.blocking:
+                block = blocks.get(mention.class_name)
+                if block is None:
+                    block = blocks[mention.class_name] = _ClassBlock()
+                probe = SurfaceForm.build(mention.surface)
+                if len(clusters) > self.brute_floor:
+                    ordinals = block.index.candidates(
+                        probe.norm, probe.content_tokens, mention.facts
+                    )
+                    stats.observe_candidates(len(ordinals), len(clusters))
+                else:
+                    ordinals = range(len(clusters))
+                    stats.fallback_queries += 1
+                stats.tier3_scored += len(ordinals)
+                for ordinal in ordinals:
+                    score = self._cluster_score_blocked(
+                        probe, mention, clusters[ordinal], block.forms[ordinal]
+                    )
+                    if score > best_score:
+                        best_cluster = clusters[ordinal]
+                        best_ordinal = ordinal
+                        best_score = score
+            else:
+                # Reference scan over every cluster of the class.
+                stats.fallback_queries += 1
+                stats.tier3_scored += len(clusters)
+                for cluster in clusters:
+                    score = self._cluster_score(mention, cluster)
+                    if score > best_score:
+                        best_cluster, best_score = cluster, score
             if best_cluster is not None and best_score >= self.cluster_threshold:
+                if self.blocking:
+                    new_facts = mention.facts - best_cluster.profile
+                    if mention.surface not in best_cluster.surfaces:
+                        blocks[mention.class_name].join(
+                            best_ordinal, probe, new_facts
+                        )
+                    else:
+                        for pair in new_facts:
+                            blocks[mention.class_name].index.add_pair(
+                                best_ordinal, pair
+                            )
                 best_cluster.surfaces.add(mention.surface)
                 best_cluster.profile |= mention.facts
                 if len(mention.surface) > len(best_cluster.name):
@@ -125,6 +211,10 @@ class JointEntityResolver:
                     surfaces={mention.surface},
                     profile=set(mention.facts),
                 )
+                if self.blocking:
+                    blocks[mention.class_name].new_cluster(
+                        probe, mention.facts
+                    )
                 clusters.append(cluster)
         outcome.clusters = [
             cluster
@@ -140,10 +230,23 @@ class JointEntityResolver:
             surface_similarity(mention.surface, surface)
             for surface in cluster.surfaces
         )
-        if not mention.facts or not cluster.profile:
+        return self._blend(name_score, mention.facts, cluster.profile)
+
+    def _cluster_score_blocked(
+        self,
+        probe: SurfaceForm,
+        mention: MentionRecord,
+        cluster: EntityCluster,
+        forms: list[SurfaceForm],
+    ) -> float:
+        name_score = max(form_similarity(probe, form) for form in forms)
+        return self._blend(name_score, mention.facts, cluster.profile)
+
+    def _blend(self, name_score: float, facts, profile) -> float:
+        if not facts or not profile:
             return name_score
-        overlap = len(mention.facts & cluster.profile)
-        union = len(mention.facts | cluster.profile)
+        overlap = len(facts & profile)
+        union = len(facts | profile)
         profile_score = overlap / union if union else 0.0
         return (
             (1 - self.profile_weight) * name_score

@@ -5,34 +5,89 @@ maps a mention to an existing entity of the ontology when one matches
 well enough — exact (normalised) surface match first, then fuzzy
 matching over names and aliases — and reports the rest as unlinked, to
 be handed to new-entity discovery.
+
+Matching runs as a 3-tier cascade when ``blocking`` is on (the
+default):
+
+* **tier 1** — exact normalised-surface hash hit;
+* **tier 2** — candidate generation through
+  :class:`repro.entity.blocking.SurfaceBlockingIndex` (MinHash/LSH
+  buckets + bounded token/prefix postings);
+* **tier 3** — the expensive :func:`surface_similarity` scorer, run
+  only on tier-2 survivors in catalog order, so the argmax and its
+  tie-breaking match the brute-force loop.
+
+``blocking=False`` keeps the reference brute-force scan over the full
+catalog; pools at or below ``brute_floor`` fall back to it as well
+(blocking an almost-empty catalog costs more than it saves).  Catalog
+surfaces are normalised and tokenised exactly once, at construction —
+``link()`` builds one :class:`SurfaceForm` for the mention and never
+re-tokenises the catalog.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.entity.blocking import (
+    DEFAULT_BRUTE_FLOOR,
+    BlockingStats,
+    SurfaceBlockingIndex,
+)
 from repro.rdf.ontology import Entity
 from repro.textproc.normalize import normalize_name
-from repro.textproc.similarity import name_similarity
+from repro.textproc.similarity import jaro_winkler, token_set_jaccard
 
 MENTION_PREFIX = "mention:"
 
 _CONNECTIVES = frozenset({"of", "the", "a", "an", "in", "for"})
 
 
-def surface_similarity(left: str, right: str) -> float:
-    """Similarity between two entity surfaces for linking/clustering.
+@dataclass(frozen=True, slots=True)
+class SurfaceForm:
+    """A surface pre-normalised and pre-tokenised for repeated scoring.
 
-    Extends :func:`name_similarity` with token-set reasoning on content
-    words: a permutation ("Adelaide University" ~ "University of
-    Adelaide") scores 0.9 and a containment ("Atlantis" ⊆ "Republic of
-    Atlantis") scores 0.85 — both common co-reference shapes.
+    ``tokens`` feeds the token-Jaccard signal; ``content_tokens``
+    (connectives removed) feeds the permutation/containment boosts.
+    Building the form once per catalog entry is what keeps ``link()``
+    from re-tokenising the whole catalog on every call.
     """
-    left_norm = normalize_name(left)
-    right_norm = normalize_name(right)
-    left_tokens = {t for t in left_norm.split() if t not in _CONNECTIVES}
-    right_tokens = {t for t in right_norm.split() if t not in _CONNECTIVES}
-    score = name_similarity(left_norm, right_norm)
+
+    norm: str
+    tokens: frozenset[str]
+    content_tokens: frozenset[str]
+
+    @classmethod
+    def from_norm(cls, norm: str) -> "SurfaceForm":
+        """Form of an already-normalised surface."""
+        tokens = frozenset(norm.split())
+        return cls(
+            norm,
+            tokens,
+            frozenset(t for t in tokens if t not in _CONNECTIVES),
+        )
+
+    @classmethod
+    def build(cls, surface: str) -> "SurfaceForm":
+        return cls.from_norm(normalize_name(surface))
+
+
+def form_similarity(left: SurfaceForm, right: SurfaceForm) -> float:
+    """:func:`surface_similarity` over precomputed forms.
+
+    Scores are identical to the string version — the same Jaro-Winkler
+    / token-Jaccard max and the same token-set boosts — without
+    re-normalising or re-splitting either side.
+    """
+    if left.norm == right.norm:
+        score = 1.0
+    else:
+        score = max(
+            jaro_winkler(left.norm, right.norm),
+            token_set_jaccard(left.tokens, right.tokens),
+        )
+    left_tokens = left.content_tokens
+    right_tokens = right.content_tokens
     if left_tokens and left_tokens == right_tokens:
         return max(score, 0.9)
     if left_tokens and right_tokens and (
@@ -40,6 +95,17 @@ def surface_similarity(left: str, right: str) -> float:
     ):
         return max(score, 0.85)
     return score
+
+
+def surface_similarity(left: str, right: str) -> float:
+    """Similarity between two entity surfaces for linking/clustering.
+
+    Extends character/token name similarity with token-set reasoning on
+    content words: a permutation ("Adelaide University" ~ "University
+    of Adelaide") scores 0.9 and a containment ("Atlantis" ⊆ "Republic
+    of Atlantis") scores 0.85 — both common co-reference shapes.
+    """
+    return form_similarity(SurfaceForm.build(left), SurfaceForm.build(right))
 
 
 def _link_similarity(left: str, right: str) -> float:
@@ -80,6 +146,13 @@ class EntityLinker:
     min_similarity:
         Fuzzy-match acceptance threshold; matches below it stay
         unlinked.
+    blocking:
+        Generate fuzzy candidates through the MinHash/LSH blocking
+        index instead of scanning the whole catalog.  ``False`` keeps
+        the reference brute-force loop.
+    brute_floor:
+        Candidate pools at or below this size are scanned exhaustively
+        even with blocking on.
     """
 
     def __init__(
@@ -87,39 +160,96 @@ class EntityLinker:
         entity_index: dict[str, Entity],
         *,
         min_similarity: float = 0.88,
+        blocking: bool = True,
+        brute_floor: int = DEFAULT_BRUTE_FLOOR,
     ) -> None:
         self._exact = {
             normalize_name(surface): entity
             for surface, entity in entity_index.items()
         }
         self.min_similarity = min_similarity
+        self.blocking = blocking
+        self.brute_floor = brute_floor
+        self.blocking_stats = BlockingStats("linker")
         # Fuzzy candidates bucketed by class for optional restriction.
         self._by_class: dict[str, list[tuple[str, Entity]]] = {}
         for surface, entity in self._exact.items():
             self._by_class.setdefault(entity.class_name, []).append(
                 (surface, entity)
             )
+        # Catalog forms, computed once.  ``_entries`` follows the exact
+        # order the brute-force loop visits (classes in insertion
+        # order, surfaces within each class), so ascending entry ids
+        # replay its tie-breaking.
+        self._forms: dict[str, SurfaceForm] = {
+            norm: SurfaceForm.from_norm(norm) for norm in self._exact
+        }
+        self._entries: list[tuple[SurfaceForm, Entity]] = []
+        self._class_pool: dict[str, int] = {}
+        index = SurfaceBlockingIndex() if blocking else None
+        for class_name, pairs in self._by_class.items():
+            self._class_pool[class_name] = len(pairs)
+            for norm, entity in pairs:
+                form = self._forms[norm]
+                if index is not None:
+                    index.add(len(self._entries), norm, form.content_tokens)
+                self._entries.append((form, entity))
+        self._index = index
+
+    def publish_blocking_metrics(self, registry) -> None:
+        """Fold cascade counters (and, when blocking is on, the LSH
+        bucket-size histogram) into a metrics registry."""
+        self.blocking_stats.publish(registry, self._index)
 
     def link(self, surface: str, class_name: str | None = None) -> LinkDecision:
         """Link one mention; optionally restricted to a class."""
         normalized = normalize_name(surface)
+        stats = self.blocking_stats
         exact = self._exact.get(normalized)
         if exact is not None and (
             class_name is None or exact.class_name == class_name
         ):
+            stats.tier1_hits += 1
             return LinkDecision(surface, exact, 1.0)
+        probe = SurfaceForm.from_norm(normalized)
         best: Entity | None = None
         best_score = 0.0
-        if class_name is None:
-            candidates = [
-                pair for pairs in self._by_class.values() for pair in pairs
-            ]
+        pool = (
+            len(self._entries)
+            if class_name is None
+            else self._class_pool.get(class_name, 0)
+        )
+        if self._index is not None and pool > self.brute_floor:
+            candidate_ids = self._index.candidates(
+                probe.norm, probe.content_tokens
+            )
+            if class_name is not None:
+                candidate_ids = [
+                    entry_id
+                    for entry_id in candidate_ids
+                    if self._entries[entry_id][1].class_name == class_name
+                ]
+            stats.observe_candidates(len(candidate_ids), pool)
+            stats.tier3_scored += len(candidate_ids)
+            for entry_id in candidate_ids:
+                form, entity = self._entries[entry_id]
+                score = form_similarity(probe, form)
+                if score > best_score:
+                    best, best_score = entity, score
         else:
-            candidates = self._by_class.get(class_name, [])
-        for candidate_surface, entity in candidates:
-            score = _link_similarity(normalized, candidate_surface)
-            if score > best_score:
-                best, best_score = entity, score
+            # Reference brute-force loop (also the small-pool fallback).
+            stats.fallback_queries += 1
+            if class_name is None:
+                candidates = [
+                    pair for pairs in self._by_class.values() for pair in pairs
+                ]
+            else:
+                candidates = self._by_class.get(class_name, [])
+            stats.tier3_scored += len(candidates)
+            for candidate_surface, entity in candidates:
+                score = form_similarity(probe, self._forms[candidate_surface])
+                if score > best_score:
+                    best, best_score = entity, score
         if best is not None and best_score >= self.min_similarity:
             return LinkDecision(surface, best, best_score)
         return LinkDecision(surface, None, best_score)

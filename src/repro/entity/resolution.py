@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro.entity.blocking import BlockingStats, QGramIndex
 from repro.rdf.triple import ScoredTriple, Triple
 from repro.textproc.normalize import is_probable_misspelling
 
@@ -87,6 +88,15 @@ class AttributeResolver:
     value_profiles:
         Optional name → set of (subject, value) pairs from extracted
         triples; used for profile-based merging.
+    blocking:
+        Route ``_find_target`` through the blocking indexes (the
+        default).  ``False`` keeps the reference brute-force scan over
+        every accepted canonical — the loop the blocked path's verdicts
+        are pinned against.
+    stats:
+        Optional shared :class:`repro.entity.blocking.BlockingStats`
+        (the pipeline passes one per run so per-class resolvers
+        aggregate into a single "attributes" site).
     """
 
     def __init__(
@@ -96,11 +106,15 @@ class AttributeResolver:
         value_profiles: dict[str, set[tuple[str, str]]] | None = None,
         *,
         profile_jaccard: float = 0.5,
+        blocking: bool = True,
+        stats: BlockingStats | None = None,
     ) -> None:
         self.class_name = class_name
         self.support = dict(support)
         self.value_profiles = value_profiles or {}
         self.profile_jaccard = profile_jaccard
+        self.blocking = blocking
+        self.stats = stats if stats is not None else BlockingStats("attributes")
 
     def run(self) -> AttributeResolution:
         resolution = AttributeResolution(self.class_name)
@@ -108,16 +122,20 @@ class AttributeResolver:
             self.support, key=lambda name: (-self.support[name], name)
         )
         self._tokens_cache = {name: _content_tokens(name) for name in names}
+        if not self.blocking:
+            return self._run_brute(resolution, names)
         # Blocking indexes over the accepted canonicals.  Each of the
         # four merge checks admits a cheap necessary condition, so a
         # variant only has to be compared against canonicals sharing
-        # its full stripped name, its content-token set, a length
-        # within the misspelling window, or at least one profile pair —
-        # instead of every canonical seen so far (the old O(n²) scan).
+        # its full stripped name, its content-token set, at least one
+        # 3-gram (or the short pool) for the misspelling window, or at
+        # least one profile pair — instead of every canonical seen so
+        # far (the old O(n²) scan).
         self._rank: dict[str, int] = {}  # canonical -> acceptance order
-        self._by_tokens: dict[frozenset[str], list[str]] = {}
-        self._by_length: dict[int, list[str]] = {}
-        self._by_pair: dict[tuple[str, str], list[str]] = {}
+        self._canonicals: list[str] = []  # acceptance order -> canonical
+        self._by_tokens: dict[frozenset[str], list[int]] = {}
+        self._qgrams = QGramIndex()
+        self._by_pair: dict[tuple[str, str], list[int]] = {}
         for name in names:
             target = self._find_target(name)
             if target is None:
@@ -130,41 +148,83 @@ class AttributeResolver:
         return resolution
 
     # ------------------------------------------------------------------
+    def _run_brute(self, resolution: AttributeResolution, names) -> AttributeResolution:
+        """Reference path: scan every accepted canonical per variant."""
+        canonical: list[str] = []
+        stats = self.stats
+        for name in names:
+            stats.fallback_queries += 1
+            target = self._find_target_brute(name, canonical)
+            if target is None:
+                parent = _specialising_parent(name)
+                if parent is not None and parent in self.support:
+                    resolution.sub_attributes[name] = parent
+                canonical.append(name)
+            else:
+                resolution.canonical_map[name] = target
+        return resolution
+
+    def _find_target_brute(self, name: str, canonical: list[str]) -> str | None:
+        stripped = _strip_qualifiers(name)
+        tokens = self._tokens_cache[name]
+        profile = self.value_profiles.get(name)
+        name_len = len(name)
+        for target in canonical:
+            self.stats.tier3_scored += 1
+            if stripped == target:
+                return target
+            if tokens and tokens == self._tokens_cache[target]:
+                return target
+            if abs(name_len - len(target)) <= 2 and is_probable_misspelling(
+                name, target, normalized=True
+            ):
+                return target
+            if profile and self._profiles_match(profile, target):
+                return target
+        return None
+
     def _accept_canonical(self, name: str) -> None:
         """Insert a newly accepted canonical into the blocking indexes."""
-        self._rank[name] = len(self._rank)
+        member = len(self._canonicals)
+        self._rank[name] = member
+        self._canonicals.append(name)
         tokens = self._tokens_cache[name]
         if tokens:
-            self._by_tokens.setdefault(tokens, []).append(name)
-        self._by_length.setdefault(len(name), []).append(name)
+            self._by_tokens.setdefault(tokens, []).append(member)
+        self._qgrams.add(member, name)
         for pair in self.value_profiles.get(name) or ():
-            self._by_pair.setdefault(pair, []).append(name)
+            self._by_pair.setdefault(pair, []).append(member)
 
     def _find_target(self, name: str) -> str | None:
         """The canonical name this variant should merge into, if any.
 
         Gathers candidates from the blocking indexes (a superset of
-        every canonical any check could match) and replays the checks
-        against them in acceptance order, so the verdict is identical
-        to scanning the full canonical list.
+        every canonical any check could match — the q-gram filter is
+        exact over the misspelling window, see
+        :class:`repro.entity.blocking.QGramIndex`) and replays the
+        checks against them in acceptance order, so the verdict is
+        identical to scanning the full canonical list.
         """
         stripped = _strip_qualifiers(name)
         tokens = self._tokens_cache[name]
         profile = self.value_profiles.get(name)
         name_len = len(name)
 
-        candidates: set[str] = set()
-        if stripped in self._rank:
-            candidates.add(stripped)
+        candidates: set[int] = set()
+        rank = self._rank.get(stripped)
+        if rank is not None:
+            candidates.add(rank)
         if tokens:
             candidates.update(self._by_tokens.get(tokens, ()))
-        for length in range(name_len - 2, name_len + 3):
-            candidates.update(self._by_length.get(length, ()))
+        self._qgrams.candidates(name, candidates)
         if profile:
             for pair in profile:
                 candidates.update(self._by_pair.get(pair, ()))
 
-        for target in sorted(candidates, key=self._rank.__getitem__):
+        self.stats.observe_candidates(len(candidates), len(self._canonicals))
+        for member in sorted(candidates):
+            self.stats.tier3_scored += 1
+            target = self._canonicals[member]
             if stripped == target:
                 return target  # qualifier wrapper
             if tokens and tokens == self._tokens_cache[target]:

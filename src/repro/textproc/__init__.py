@@ -30,6 +30,7 @@ from repro.textproc.similarity import (
     levenshtein_similarity,
     name_similarity,
     token_jaccard,
+    token_set_jaccard,
 )
 from repro.textproc.tokenize import detokenize, normalize_token, tokenize_words
 
@@ -58,5 +59,6 @@ __all__ = [
     "singularize",
     "split_sentences",
     "token_jaccard",
+    "token_set_jaccard",
     "tokenize_words",
 ]

@@ -159,14 +159,24 @@ def jaro_winkler(left: str, right: str, *, prefix_scale: float = 0.1) -> float:
 @memoized_pair("token-jaccard")
 def token_jaccard(left: str, right: str) -> float:
     """Jaccard similarity of lower-cased token sets."""
-    tokens_left = set(left.lower().split())
-    tokens_right = set(right.lower().split())
+    return token_set_jaccard(
+        set(left.lower().split()), set(right.lower().split())
+    )
+
+
+def token_set_jaccard(tokens_left, tokens_right) -> float:
+    """Jaccard of two pre-tokenised sets (both empty counts as 1.0).
+
+    The set-level core of :func:`token_jaccard`, exposed so hot paths
+    that hold precomputed token sets (the entity layer's surface
+    forms) can score without re-splitting the strings on every call.
+    """
     if not tokens_left and not tokens_right:
         return 1.0
     if not tokens_left or not tokens_right:
         return 0.0
     overlap = len(tokens_left & tokens_right)
-    return overlap / len(tokens_left | tokens_right)
+    return overlap / (len(tokens_left) + len(tokens_right) - overlap)
 
 
 @memoized_pair("name-similarity")

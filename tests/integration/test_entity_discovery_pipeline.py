@@ -100,7 +100,54 @@ class TestDiscoveryFlow:
         assert fused_new  # new entities carry fused facts
 
 
-class TestDiscoveryOff:
+class TestBlockingKnob:
+    def _config(self, entity_blocking):
+        return PipelineConfig(
+            world=SMALL_WORLD_CONFIG,
+            kb_pair=KbPairConfig(
+                entity_ratio_freebase=0.6, entity_ratio_dbpedia=0.5
+            ),
+            querylog=QueryLogConfig(seed=5, scale=0.001),
+            websites=WebsiteConfig(
+                seed=9, sites_per_class=2, pages_per_site=12
+            ),
+            webtext=WebTextConfig(
+                seed=15, sources_per_class=2, documents_per_source=6
+            ),
+            discover_new_entities=True,
+            entity_blocking=entity_blocking,
+        )
+
+    def test_blocking_on_off_identical_results(self, discovery_run):
+        _, blocked_report = discovery_run  # default: blocking on
+        brute = KnowledgeBaseConstructionPipeline(self._config(False))
+        brute_report = brute.run()
+        assert sorted(blocked_report.fusion_result.truths) == sorted(
+            brute_report.fusion_result.truths
+        )
+
+        def canon(outcome):
+            return sorted(
+                (
+                    cluster.cluster_id,
+                    cluster.class_name,
+                    cluster.name,
+                    sorted(cluster.surfaces),
+                )
+                for cluster in outcome.clusters
+            )
+
+        assert canon(blocked_report.entity_resolution) == canon(
+            brute_report.entity_resolution
+        )
+
+    def test_blocking_metrics_published(self, discovery_run):
+        _, report = discovery_run
+        counters = report.metrics.to_json_dict()["counters"]
+        for site in ("linker", "discovery", "attributes"):
+            assert (
+                f"blocking_queries_total{{site={site}}}" in counters
+            ), site
     def test_partial_kb_without_discovery_drops_unknown_pages(self):
         config = PipelineConfig(
             world=SMALL_WORLD_CONFIG,

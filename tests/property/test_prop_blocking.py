@@ -1,0 +1,212 @@
+"""Property tests: blocked cascade verdicts are identical to brute force.
+
+Seeded random worlds are replayed through both paths of the three
+blocking sites — mention linking, joint discovery, and attribute
+resolution.  The LSH tier is probabilistic by design but deterministic
+under the pinned seeds, so these pins are stable: a pass today is a
+pass forever (the same contract PR 2 established for the attribute
+resolver's first blocking pass).
+"""
+
+import random
+
+import pytest
+
+from repro.entity.discovery import JointEntityResolver, MentionRecord
+from repro.entity.linking import EntityLinker
+from repro.entity.resolution import AttributeResolver
+from repro.rdf.ontology import Entity
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _word(rng, lo=4, hi=10):
+    return "".join(rng.choice(_LETTERS) for _ in range(rng.randint(lo, hi)))
+
+
+def _typo(rng, word):
+    kind = rng.randrange(4)
+    i = rng.randrange(len(word))
+    if kind == 0 and len(word) > 1:  # transpose
+        i = rng.randrange(len(word) - 1)
+        return word[:i] + word[i + 1] + word[i] + word[i + 2:]
+    if kind == 1 and len(word) > 1:  # drop
+        return word[:i] + word[i + 1:]
+    if kind == 2:  # duplicate
+        return word[:i] + word[i] + word[i:]
+    return word[:i] + rng.choice(_LETTERS) + word[i + 1:]  # substitute
+
+
+def _surfaces(rng, count):
+    """Multi-word names over a shared vocabulary (near pairs common)."""
+    vocab = [_word(rng) for _ in range(max(20, count // 3))]
+    return [
+        " ".join(rng.choice(vocab) for _ in range(rng.randint(1, 3)))
+        for _ in range(count)
+    ]
+
+
+def _probes(rng, surfaces, count):
+    """Probe mix: exacts, misspellings, permutations, wrappers, noise."""
+    probes = []
+    for _ in range(count):
+        kind = rng.random()
+        base = rng.choice(surfaces)
+        words = base.split()
+        if kind < 0.35:
+            probes.append(base)
+        elif kind < 0.6:
+            i = rng.randrange(len(words))
+            words[i] = _typo(rng, words[i])
+            probes.append(" ".join(words))
+        elif kind < 0.75:
+            rng.shuffle(words)
+            probes.append(" ".join(words))
+        elif kind < 0.85:
+            probes.append("the " + base)
+        else:
+            probes.append(
+                " ".join(_word(rng) for _ in range(rng.randint(1, 3)))
+            )
+    return probes
+
+
+class TestLinkerEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_blocked_verdicts_match_brute(self, seed):
+        rng = random.Random(1000 + seed)
+        classes = ("Book", "City", "Person")
+        catalog = {}
+        for i, surface in enumerate(_surfaces(rng, 220)):
+            catalog[surface] = Entity(
+                f"e/{i}", surface, classes[i % len(classes)]
+            )
+        blocked = EntityLinker(catalog, blocking=True, brute_floor=0)
+        brute = EntityLinker(catalog, blocking=False)
+        surfaces = list(catalog)
+        for probe in _probes(rng, surfaces, 150):
+            for class_name in (None, rng.choice(classes)):
+                fast = blocked.link(probe, class_name)
+                slow = brute.link(probe, class_name)
+                assert fast.linked == slow.linked, (probe, class_name)
+                if fast.linked:
+                    assert fast.entity.entity_id == slow.entity.entity_id
+                    assert fast.score == slow.score
+        stats = blocked.blocking_stats
+        assert stats.queries > 0
+        assert stats.pruned > 0  # blocking actually pruned work
+        assert brute.blocking_stats.queries == 0
+
+
+class TestDiscoveryEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_blocked_outcomes_match_brute(self, seed):
+        rng = random.Random(2000 + seed)
+        known = _surfaces(rng, 50)
+        catalog = {
+            surface: Entity(f"e/{i}", surface, "Thing")
+            for i, surface in enumerate(known)
+        }
+        pool = _surfaces(rng, 150) + known[:10]
+        attrs = [_word(rng) for _ in range(12)]
+        values = [_word(rng) for _ in range(20)]
+        mentions = [
+            MentionRecord(
+                surface,
+                "Thing",
+                {
+                    (rng.choice(attrs), rng.choice(values))
+                    for _ in range(rng.randint(0, 3))
+                },
+            )
+            for surface in _probes(rng, pool, 220)
+        ]
+
+        def clone(records):
+            return [
+                MentionRecord(m.surface, m.class_name, set(m.facts))
+                for m in records
+            ]
+
+        blocked = JointEntityResolver(
+            EntityLinker(catalog, blocking=True, brute_floor=0),
+            blocking=True,
+            brute_floor=0,
+        )
+        brute = JointEntityResolver(
+            EntityLinker(catalog, blocking=False), blocking=False
+        )
+        fast = blocked.resolve(clone(mentions))
+        slow = brute.resolve(clone(mentions))
+        assert {s: e.entity_id for s, e in fast.linked.items()} == {
+            s: e.entity_id for s, e in slow.linked.items()
+        }
+
+        def canon(outcome):
+            return [
+                (
+                    cluster.cluster_id,
+                    cluster.class_name,
+                    cluster.name,
+                    sorted(cluster.surfaces),
+                    sorted(cluster.profile),
+                )
+                for cluster in outcome.clusters
+            ]
+
+        assert canon(fast) == canon(slow)
+        assert blocked.blocking_stats.queries > 0
+        assert blocked.blocking_stats.pruned > 0
+
+
+class TestAttributeResolverEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_blocked_resolutions_match_brute(self, seed):
+        rng = random.Random(3000 + seed)
+        vocab = [_word(rng, 4, 9) for _ in range(40)]
+        names = sorted({
+            " ".join(rng.choice(vocab) for _ in range(rng.randint(1, 3)))
+            for _ in range(180)
+        })
+        variants = []
+        for name in names[:70]:
+            words = name.split()
+            roll = rng.random()
+            if roll < 0.4:
+                i = rng.randrange(len(words))
+                words[i] = _typo(rng, words[i])
+                variants.append(" ".join(words))
+            elif roll < 0.55 and len(words) > 1:
+                rng.shuffle(words)
+                variants.append(" of ".join(words))
+            elif roll < 0.7:
+                variants.append("official " + name)
+            elif roll < 0.8:
+                variants.append(name + " of record")
+            else:
+                variants.append("main " + name)  # sub-attribute shape
+        support = {}
+        for name in names:
+            support[name] = rng.randint(60, 120)
+        for variant in variants:
+            support.setdefault(variant, rng.randint(1, 40))
+        subjects = [f"s{i}" for i in range(30)]
+        profiles = {}
+        for name in support:
+            if rng.random() < 0.7:
+                profiles[name] = {
+                    (rng.choice(subjects), _word(rng))
+                    for _ in range(rng.randint(1, 6))
+                }
+        # Force some profile-identical pairs (the value-profile merge).
+        for left, right in zip(names[:10], names[10:20]):
+            if left in profiles:
+                profiles[right] = set(profiles[left])
+        blocked = AttributeResolver(
+            "Thing", support, profiles, blocking=True
+        ).run()
+        brute = AttributeResolver(
+            "Thing", support, profiles, blocking=False
+        ).run()
+        assert blocked.canonical_map == brute.canonical_map
+        assert blocked.sub_attributes == brute.sub_attributes

@@ -2,8 +2,10 @@
 
 import pytest
 
+import repro.entity.linking as linking
 from repro.entity.linking import (
     EntityLinker,
+    SurfaceForm,
     is_mention,
     mention_subject,
 )
@@ -80,3 +82,47 @@ class TestFuzzyLinking:
     def test_fuzzy_class_restriction(self, linker):
         decision = linker.link("Universty of Adelaide", class_name="Book")
         assert not decision.linked
+
+
+class TestPrecomputedCatalog:
+    """The catalog is normalised/tokenised once, at construction."""
+
+    @pytest.fixture
+    def catalog(self):
+        return {
+            f"entity number {i:03d}": Entity(f"e/{i}", f"E{i}", "Thing")
+            for i in range(120)
+        }
+
+    @pytest.mark.parametrize("blocking", [True, False])
+    def test_link_does_not_retokenize_catalog(
+        self, catalog, monkeypatch, blocking
+    ):
+        linker = EntityLinker(catalog, blocking=blocking)
+        normalize_calls = []
+        real_normalize = linking.normalize_name
+        monkeypatch.setattr(
+            linking,
+            "normalize_name",
+            lambda surface: (
+                normalize_calls.append(surface) or real_normalize(surface)
+            ),
+        )
+        form_calls = []
+        real_from_norm = SurfaceForm.from_norm.__func__
+        monkeypatch.setattr(
+            SurfaceForm,
+            "from_norm",
+            classmethod(
+                lambda cls, norm: (
+                    form_calls.append(norm) or real_from_norm(cls, norm)
+                )
+            ),
+        )
+        probes = ["entity number 005", "entity numbr 042", "unrelated thing"]
+        for probe in probes:
+            linker.link(probe)
+        # One normalisation per probe and at most one probe form per
+        # link call — never one per catalog entry.
+        assert normalize_calls == probes
+        assert len(form_calls) <= len(probes)
