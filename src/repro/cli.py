@@ -96,6 +96,22 @@ def build_parser() -> argparse.ArgumentParser:
         "recomputing (stale checkpoints are ignored)",
     )
     pipeline.add_argument(
+        "--storage-backend", choices=("memory", "segment"),
+        default="memory",
+        help="claim-store backend for incremental runs: 'memory' keeps "
+        "claims in dicts, 'segment' spills them to mmapped LSM segment "
+        "files under --storage-dir (verdicts identical either way)",
+    )
+    pipeline.add_argument(
+        "--storage-dir", metavar="DIR",
+        help="segment-file directory (required with "
+        "--storage-backend=segment)",
+    )
+    pipeline.add_argument(
+        "--memtable-limit", type=int, default=8192, metavar="N",
+        help="memtable entries that trigger a segment flush",
+    )
+    pipeline.add_argument(
         "--apply-delta", metavar="PATH", action="append", default=[],
         help="after the run, apply a JSON claim delta (added/retracted "
         "triples) incrementally, re-fusing only the dirty connected "
@@ -184,6 +200,9 @@ def _run_pipeline(args) -> int:
         stage_timeout=args.stage_timeout,
         min_sources=args.min_sources,
         checkpoint_dir=args.checkpoint_dir,
+        storage_backend=args.storage_backend,
+        storage_dir=args.storage_dir,
+        memtable_limit=args.memtable_limit,
     )
     pipeline = KnowledgeBaseConstructionPipeline(config)
     report = pipeline.run(resume=args.resume)
@@ -251,7 +270,13 @@ def _run_pipeline(args) -> int:
         written = dump_claims_tsv(pipeline.freebase.store, args.export)
         print(f"exported {written} claims to {args.export}")
     if args.metrics_out:
-        _dump_json(args.metrics_out, report.metrics.to_json_dict())
+        # report.metrics is frozen at the end of run(); deltas applied
+        # afterwards accrue storage_*/incremental_* metrics in the live
+        # registry, so re-snapshot to include them.
+        metrics = report.metrics
+        if args.apply_delta:
+            metrics = pipeline.metrics.snapshot()
+        _dump_json(args.metrics_out, metrics.to_json_dict())
         print(f"metrics written to {args.metrics_out}")
     if args.trace_out:
         _dump_json(args.trace_out, report.trace)

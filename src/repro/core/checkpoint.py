@@ -72,6 +72,12 @@ _FINGERPRINT_FIELDS = (
     "functionality_source",
     "resolve_attributes",
     "entity_blocking",
+    # The storage backend does not change fused *verdicts* (that
+    # equivalence is property-tested), but an "incremental" checkpoint
+    # resumed under a different backend would silently detach the
+    # checkpointed delta sequence from the segment directory's on-disk
+    # lineage — so backend identity participates in the fingerprint.
+    "storage_backend",
 )
 
 

@@ -206,6 +206,21 @@ class PipelineConfig:
     quarantine_capacity: int = 1000
     # Directory for stage checkpoints (None disables checkpointing).
     checkpoint_dir: str | None = None
+    # -- Storage --------------------------------------------------------
+    # Claim-store backend behind the incremental engine's TripleStore:
+    # "memory" keeps the original dict-resident store; "segment" spills
+    # claims to mmapped LSM-style segment files under storage_dir, so
+    # the corpus is disk-bound instead of RAM-bound.  Fusion verdicts
+    # are byte-identical either way (the backends share one claim
+    # iteration order; see repro.rdf.backend).
+    storage_backend: str = "memory"
+    # Segment-file directory, required when storage_backend="segment".
+    # The directory is owned by the run lineage: reopening it primes
+    # from the last flushed state (adds of already-present claims
+    # deduplicate away).
+    storage_dir: str | None = None
+    # Memtable entries that trigger an automatic segment flush.
+    memtable_limit: int = 8192
 
 
 @dataclass(slots=True)
@@ -791,6 +806,17 @@ class KnowledgeBaseConstructionPipeline:
             raise PipelineError("quarantine_capacity must be >= 1")
         if cfg.stage_timeout is not None and cfg.stage_timeout <= 0:
             raise PipelineError("stage_timeout must be positive")
+        if cfg.storage_backend not in ("memory", "segment"):
+            raise PipelineError(
+                "storage_backend must be 'memory' or 'segment', "
+                f"got {cfg.storage_backend!r}"
+            )
+        if cfg.storage_backend == "segment" and not cfg.storage_dir:
+            raise PipelineError(
+                "storage_backend='segment' requires storage_dir"
+            )
+        if cfg.memtable_limit < 1:
+            raise PipelineError("memtable_limit must be >= 1")
 
     # ------------------------------------------------------------------
     # Observability helpers.
@@ -1201,12 +1227,36 @@ class KnowledgeBaseConstructionPipeline:
             metrics=self.metrics,
         )
 
+    def _build_claim_store(self):
+        """A :class:`TripleStore` on the configured storage backend.
+
+        ``"segment"`` opens (or creates) the LSM segment directory,
+        wiring this run's metrics registry and fault plan through to
+        the backend so ``storage_*`` metrics and the
+        ``storage:flush``/``storage:compaction`` chaos scopes work
+        end-to-end; delta journal writes then become memtable inserts
+        that flush to segments at ``memtable_limit``.
+        """
+        from repro.rdf.store import TripleStore
+
+        cfg = self.config
+        if cfg.storage_backend == "segment":
+            from repro.rdf.segments import SegmentBackend
+
+            return TripleStore(
+                SegmentBackend(
+                    cfg.storage_dir,
+                    memtable_limit=cfg.memtable_limit,
+                    metrics=self.metrics,
+                    fault_plan=cfg.fault_plan,
+                )
+            )
+        return TripleStore()
+
     def _prime_incremental(self, resume: bool) -> str | None:
         """Build and prime the incremental engine; returns the
         checkpoint stage the claim corpus was restored from (None when
         it came from this process's last run())."""
-        from repro.rdf.store import TripleStore
-
         cfg = self.config
         all_triples = self.all_triples
         entity_resolution = (
@@ -1254,7 +1304,7 @@ class KnowledgeBaseConstructionPipeline:
             functional_of = self._select_functional_oracle(claims)
 
         fusion = self._build_fusion(functional_of)
-        triple_store = TripleStore()
+        triple_store = self._build_claim_store()
         triple_store.add_all(all_triples)
         fusion.begin_incremental(
             triple_store, functional_refresh=functional_refresh

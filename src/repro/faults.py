@@ -30,7 +30,12 @@ Scope naming convention used across the repo:
   ``stage:fusion``, ...), always index 0;
 * ``"records:<source>"`` — extractor input streams
   (``records:querystream``, ``records:dom``, ``records:webtext``),
-  indexed by record position.
+  indexed by record position;
+* ``"storage:flush"`` / ``"storage:compaction"`` — segment-store
+  durability points (:mod:`repro.rdf.segments`), indexed by write
+  phase: 0 before the segment temp is written, 1 before the segment
+  ``os.replace``, 2 before the manifest ``os.replace``, 3 after the
+  manifest lands but before the in-memory commit.
 """
 
 from __future__ import annotations

@@ -1,0 +1,344 @@
+"""Pluggable storage backends behind the :class:`TripleStore` facade.
+
+The store's public API (add/remove/match/claims/...) is fixed by the
+rest of the pipeline; *where the claims live* is not.  This module
+defines the :class:`StorageBackend` contract and the reference
+:class:`MemoryBackend` — the original pure-dict implementation of
+:class:`repro.rdf.store.TripleStore`, extracted verbatim.  The
+disk-resident :class:`~repro.rdf.segments.SegmentBackend` implements
+the same contract over mmapped segment files.
+
+Contract notes that matter for byte-identical fusion:
+
+* ``iter_claims()`` / ``claims()`` enumerate live claims in **first
+  insertion order** of their ``(triple, provenance)`` key — dict
+  semantics: a confidence refresh keeps the key's position, a
+  ``remove`` followed by a re-add moves it to the end.  Fusion float
+  accumulation order follows claim order, so every backend must
+  reproduce this order exactly.
+* A claim that was installed by the most recent ``add`` must be
+  returned *by identity* from ``claims(triple)`` until the next
+  mutation — the delta journal distinguishes confidence refreshes
+  from dedup no-ops via ``existing is scored``.
+* ``add`` keeps the maximum confidence per key and is a no-op when the
+  stored confidence is already >= the incoming one.
+* ``remove(triple)`` drops every provenance of the triple and returns
+  how many claim keys went away; fully-removed triples never ghost in
+  ``subjects()``/``predicates()``/match paths.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Iterator
+
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+
+__all__ = ["MemoryBackend", "StorageBackend"]
+
+
+class StorageBackend(abc.ABC):
+    """Storage contract of the :class:`~repro.rdf.store.TripleStore`.
+
+    Implementations own claim persistence and the index structures;
+    the store facade owns nothing but delegation.  ``flush``,
+    ``compact`` and ``close`` are lifecycle no-ops for purely
+    in-memory backends.
+    """
+
+    #: Short name used by config/CLI wiring ("memory", "segment").
+    name = "backend"
+
+    # -- mutation ------------------------------------------------------
+    @abc.abstractmethod
+    def add(self, scored: ScoredTriple) -> None:
+        """Add one claim; keeps the max confidence on duplicates."""
+
+    def add_all(self, scored: Iterable[ScoredTriple]) -> None:
+        """Bulk insert; backends override with a batched single pass."""
+        for one in scored:
+            self.add(one)
+
+    @abc.abstractmethod
+    def remove(self, triple: Triple) -> int:
+        """Remove every claim of ``triple``; returns how many existed."""
+
+    # -- size / iteration ----------------------------------------------
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of live claims (triple/provenance keys)."""
+
+    @abc.abstractmethod
+    def iter_claims(self) -> Iterator[ScoredTriple]:
+        """Live claims in first-insertion order, without copying.
+
+        Callers that mutate while iterating must take a
+        ``snapshot()`` at the store level instead.
+        """
+
+    @abc.abstractmethod
+    def contains_triple(self, triple: Triple) -> bool:
+        """True if any live claim asserts ``triple``."""
+
+    # -- lookup --------------------------------------------------------
+    @abc.abstractmethod
+    def match(
+        self,
+        subject: str | None = None,
+        predicate: str | None = None,
+        obj: Value | None = None,
+    ) -> list[Triple]:
+        """Distinct triples matching a pattern with ``None`` wildcards."""
+
+    @abc.abstractmethod
+    def claims(self, triple: Triple | None = None) -> list[ScoredTriple]:
+        """All claims, or all claims of one specific triple."""
+
+    @abc.abstractmethod
+    def claims_for_item(
+        self, subject: str, predicate: str
+    ) -> list[ScoredTriple]:
+        """Every claim about the data item ``(subject, predicate)``."""
+
+    @abc.abstractmethod
+    def objects(self, subject: str, predicate: str) -> set[Value]:
+        """Distinct object values claimed for a data item."""
+
+    @abc.abstractmethod
+    def subjects(self) -> set[str]:
+        """All subjects appearing in live claims."""
+
+    @abc.abstractmethod
+    def predicates(self, subject: str | None = None) -> set[str]:
+        """All predicates, optionally restricted to one subject."""
+
+    @abc.abstractmethod
+    def sources(self) -> set[str]:
+        """Distinct provenance source ids across live claims."""
+
+    @abc.abstractmethod
+    def extractors(self) -> set[str]:
+        """Distinct provenance extractor ids across live claims."""
+
+    # -- bulk / lifecycle ----------------------------------------------
+    @abc.abstractmethod
+    def copy(self) -> "StorageBackend":
+        """An independently-mutable backend holding the same claims."""
+
+    def flush(self) -> None:
+        """Persist pending mutations (no-op for in-memory backends)."""
+
+    def compact(self) -> None:
+        """Merge persistent structures (no-op for in-memory backends)."""
+
+    def close(self) -> None:
+        """Release OS resources (no-op for in-memory backends)."""
+
+
+class MemoryBackend(StorageBackend):
+    """The original in-memory dict store with SPO/POS/OSP indexes.
+
+    Deduplicates on the full ``(triple, provenance)`` pair: the same
+    triple asserted by two different sources is kept twice (fusion
+    needs both claims), while re-adding an identical claim is a no-op
+    that refreshes its confidence to the maximum seen.
+    """
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        # (triple, provenance) -> ScoredTriple
+        self._claims: dict[tuple[Triple, Provenance], ScoredTriple] = {}
+        # subject -> predicate -> set of object values
+        self._spo: dict[str, dict[str, set[Value]]] = {}
+        # predicate -> object -> set of subjects
+        self._pos: dict[str, dict[Value, set[str]]] = {}
+        # object -> subject -> set of predicates
+        self._osp: dict[Value, dict[str, set[str]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._claims)
+
+    def iter_claims(self) -> Iterator[ScoredTriple]:
+        return iter(self._claims.values())
+
+    def contains_triple(self, triple: Triple) -> bool:
+        by_predicate = self._spo.get(triple.subject)
+        if by_predicate is None:
+            return False
+        objects = by_predicate.get(triple.predicate)
+        return objects is not None and triple.obj in objects
+
+    # -- mutation ------------------------------------------------------
+    def add(self, scored: ScoredTriple) -> None:
+        key = (scored.triple, scored.provenance)
+        existing = self._claims.get(key)
+        if existing is not None and existing.confidence >= scored.confidence:
+            return
+        self._claims[key] = scored
+        if existing is None:
+            self._index(scored.triple)
+
+    def add_all(self, scored: Iterable[ScoredTriple]) -> None:
+        """Single-pass bulk insert over an iterable (streams fine).
+
+        Equivalent to repeated :meth:`add` but cheaper per claim: the
+        claim dict and index roots are bound once outside the loop,
+        and ``dict.setdefault`` installs a fresh key with a *single*
+        key hash where the get-then-assign in :meth:`add` pays two —
+        and hashing a ``(triple, provenance)`` tuple recursively
+        hashes every field, so it dominates the insert.  Insertion
+        order — and therefore fusion float accumulation order — is
+        identical to the loop.
+        """
+        claims_setdefault = self._claims.setdefault
+        claims = self._claims
+        spo, pos, osp = self._spo, self._pos, self._osp
+        for one in scored:
+            key = (one.triple, one.provenance)
+            existing = claims_setdefault(key, one)
+            if existing is not one:
+                if existing.confidence < one.confidence:
+                    claims[key] = one
+                continue
+            triple = one.triple
+            subject, predicate = triple.subject, triple.predicate
+            obj = triple.obj
+            spo.setdefault(subject, {}).setdefault(
+                predicate, set()
+            ).add(obj)
+            pos.setdefault(predicate, {}).setdefault(
+                obj, set()
+            ).add(subject)
+            osp.setdefault(obj, {}).setdefault(
+                subject, set()
+            ).add(predicate)
+
+    def _index(self, triple: Triple) -> None:
+        self._spo.setdefault(triple.subject, {}).setdefault(
+            triple.predicate, set()
+        ).add(triple.obj)
+        self._pos.setdefault(triple.predicate, {}).setdefault(
+            triple.obj, set()
+        ).add(triple.subject)
+        self._osp.setdefault(triple.obj, {}).setdefault(
+            triple.subject, set()
+        ).add(triple.predicate)
+
+    def remove(self, triple: Triple) -> int:
+        keys = [key for key in self._claims if key[0] == triple]
+        for key in keys:
+            del self._claims[key]
+        if keys:
+            self._discard_pruning(
+                self._spo, triple.subject, triple.predicate, triple.obj
+            )
+            self._discard_pruning(
+                self._pos, triple.predicate, triple.obj, triple.subject
+            )
+            self._discard_pruning(
+                self._osp, triple.obj, triple.subject, triple.predicate
+            )
+        return len(keys)
+
+    @staticmethod
+    def _discard_pruning(index: dict, first, second, leaf) -> None:
+        """Drop ``leaf`` from ``index[first][second]``, pruning empties."""
+        by_second = index.get(first)
+        if by_second is None:
+            return
+        leaves = by_second.get(second)
+        if leaves is None:
+            return
+        leaves.discard(leaf)
+        if not leaves:
+            del by_second[second]
+        if not by_second:
+            del index[first]
+
+    # -- lookup --------------------------------------------------------
+    def match(
+        self,
+        subject: str | None = None,
+        predicate: str | None = None,
+        obj: Value | None = None,
+    ) -> list[Triple]:
+        if subject is not None:
+            by_predicate = self._spo.get(subject, {})
+            predicates = (
+                [predicate] if predicate is not None else list(by_predicate)
+            )
+            result = []
+            for pred in predicates:
+                for value in by_predicate.get(pred, ()):
+                    if obj is None or value == obj:
+                        result.append(Triple(subject, pred, value))
+            return result
+        if predicate is not None:
+            by_object = self._pos.get(predicate, {})
+            objects = [obj] if obj is not None else list(by_object)
+            return [
+                Triple(subj, predicate, value)
+                for value in objects
+                for subj in by_object.get(value, ())
+            ]
+        if obj is not None:
+            by_subject = self._osp.get(obj, {})
+            return [
+                Triple(subj, pred, obj)
+                for subj, preds in by_subject.items()
+                for pred in preds
+            ]
+        seen: set[Triple] = set()
+        out: list[Triple] = []
+        for scored in self._claims.values():
+            if scored.triple not in seen:
+                seen.add(scored.triple)
+                out.append(scored.triple)
+        return out
+
+    def claims(self, triple: Triple | None = None) -> list[ScoredTriple]:
+        if triple is None:
+            return list(self._claims.values())
+        return [
+            scored
+            for (stored, _prov), scored in self._claims.items()
+            if stored == triple
+        ]
+
+    def claims_for_item(
+        self, subject: str, predicate: str
+    ) -> list[ScoredTriple]:
+        return [
+            scored
+            for scored in self._claims.values()
+            if scored.triple.subject == subject
+            and scored.triple.predicate == predicate
+        ]
+
+    def objects(self, subject: str, predicate: str) -> set[Value]:
+        return set(self._spo.get(subject, {}).get(predicate, set()))
+
+    def subjects(self) -> set[str]:
+        return set(self._spo)
+
+    def predicates(self, subject: str | None = None) -> set[str]:
+        if subject is None:
+            return set(self._pos)
+        return set(self._spo.get(subject, {}))
+
+    def sources(self) -> set[str]:
+        return {
+            scored.provenance.source_id for scored in self._claims.values()
+        }
+
+    def extractors(self) -> set[str]:
+        return {
+            scored.provenance.extractor_id
+            for scored in self._claims.values()
+        }
+
+    def copy(self) -> "MemoryBackend":
+        clone = MemoryBackend()
+        clone.add_all(self._claims.values())
+        return clone

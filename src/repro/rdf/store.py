@@ -1,10 +1,22 @@
-"""An indexed in-memory triple store.
+"""An indexed triple store over a pluggable storage backend.
 
-The store keeps three hash indexes (SPO, POS, OSP) so that any lookup
-with at least one bound position runs in time proportional to the size
-of its answer, mirroring the classic triple-table layout of RDF
-databases.  Scored extractions are stored alongside their provenance so
-that fusion can retrieve every claim about a data item.
+The store keeps three indexes (SPO, POS, OSP) so that any lookup with
+at least one bound position runs in time proportional to the size of
+its answer, mirroring the classic triple-table layout of RDF
+databases.  Scored extractions are stored alongside their provenance
+so that fusion can retrieve every claim about a data item.
+
+*Where* claims live is delegated to a :class:`StorageBackend`
+(:mod:`repro.rdf.backend`): the default :class:`MemoryBackend` keeps
+the original pure-dict layout; the
+:class:`~repro.rdf.segments.SegmentBackend` spills to mmapped segment
+files so the corpus is disk-bound instead of RAM-bound.  Every backend
+preserves the same claim-iteration order, so fusion verdicts do not
+depend on the backend choice.
+
+Iteration is **zero-copy**: ``iter(store)`` streams the backend's live
+claims without materializing a list.  Callers that mutate the store
+while iterating must use :meth:`TripleStore.snapshot` instead.
 """
 
 from __future__ import annotations
@@ -12,108 +24,69 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 
 from repro.errors import StoreError
-from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+from repro.rdf.backend import MemoryBackend, StorageBackend
+from repro.rdf.triple import ScoredTriple, Triple, Value
 
 
 class TripleStore:
-    """In-memory RDF store with SPO/POS/OSP indexes.
+    """RDF claim store with SPO/POS/OSP lookups.
 
     The store deduplicates on the full ``(triple, provenance)`` pair:
     the same triple asserted by two different sources is kept twice
     (fusion needs both claims), while re-adding an identical claim is a
     no-op that refreshes its confidence to the maximum seen.
+
+    ``backend`` defaults to a fresh in-memory :class:`MemoryBackend`;
+    pass a :class:`~repro.rdf.segments.SegmentBackend` for
+    disk-resident storage.
     """
 
-    def __init__(self) -> None:
-        # (triple, provenance) -> ScoredTriple
-        self._claims: dict[tuple[Triple, Provenance], ScoredTriple] = {}
-        # subject -> predicate -> set of object values
-        self._spo: dict[str, dict[str, set[Value]]] = {}
-        # predicate -> object -> set of subjects
-        self._pos: dict[str, dict[Value, set[str]]] = {}
-        # object -> subject -> set of predicates
-        self._osp: dict[Value, dict[str, set[str]]] = {}
+    def __init__(self, backend: StorageBackend | None = None) -> None:
+        self._backend = backend if backend is not None else MemoryBackend()
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage backend this store delegates to."""
+        return self._backend
 
     def __len__(self) -> int:
         """Number of stored claims (triple/provenance pairs)."""
-        return len(self._claims)
+        return len(self._backend)
 
     def __iter__(self) -> Iterator[ScoredTriple]:
-        return iter(list(self._claims.values()))
+        """Stream claims lazily; see :meth:`snapshot` for mutation-safe
+        iteration."""
+        return self._backend.iter_claims()
 
     def __contains__(self, triple: Triple) -> bool:
-        by_predicate = self._spo.get(triple.subject)
-        if by_predicate is None:
-            return False
-        objects = by_predicate.get(triple.predicate)
-        return objects is not None and triple.obj in objects
+        return self._backend.contains_triple(triple)
+
+    def snapshot(self) -> list[ScoredTriple]:
+        """A materialized copy of the current claims.
+
+        Safe to iterate while mutating the store; plain ``iter(store)``
+        is zero-copy and follows the backend's live state.
+        """
+        return list(self._backend.iter_claims())
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add(self, scored: ScoredTriple) -> None:
         """Add one claim; keeps the max confidence on duplicates."""
-        key = (scored.triple, scored.provenance)
-        existing = self._claims.get(key)
-        if existing is not None and existing.confidence >= scored.confidence:
-            return
-        self._claims[key] = scored
-        triple = scored.triple
-        self._spo.setdefault(triple.subject, {}).setdefault(
-            triple.predicate, set()
-        ).add(triple.obj)
-        self._pos.setdefault(triple.predicate, {}).setdefault(
-            triple.obj, set()
-        ).add(triple.subject)
-        self._osp.setdefault(triple.obj, {}).setdefault(
-            triple.subject, set()
-        ).add(triple.predicate)
+        self._backend.add(scored)
 
     def add_all(self, scored: Iterable[ScoredTriple]) -> None:
-        """Add many claims."""
-        for one in scored:
-            self.add(one)
+        """Add many claims in one backend-level batch."""
+        self._backend.add_all(scored)
 
     def remove(self, triple: Triple) -> int:
         """Remove every claim of ``triple``; returns how many were removed.
 
-        The SPO/POS/OSP indexes are pruned all the way up: emptied
-        inner sets and dicts are deleted, so ``subjects()``,
-        ``predicates()`` and the match paths never report ghost
-        entries for fully-removed triples.  (The index entry for the
-        exact ``(s, p, o)`` can always be dropped — removal covers
-        every provenance of the triple, so nothing survives that
-        could still need it.)
+        Fully-removed triples never ghost in ``subjects()``,
+        ``predicates()`` or the match paths.
         """
-        keys = [key for key in self._claims if key[0] == triple]
-        for key in keys:
-            del self._claims[key]
-        if keys:
-            self._discard_pruning(
-                self._spo, triple.subject, triple.predicate, triple.obj
-            )
-            self._discard_pruning(
-                self._pos, triple.predicate, triple.obj, triple.subject
-            )
-            self._discard_pruning(
-                self._osp, triple.obj, triple.subject, triple.predicate
-            )
-        return len(keys)
-
-    @staticmethod
-    def _discard_pruning(index: dict, first, second, leaf) -> None:
-        """Drop ``leaf`` from ``index[first][second]``, pruning empties."""
-        by_second = index.get(first)
-        if by_second is None:
-            return
-        leaves = by_second.get(second)
-        if leaves is None:
-            return
-        leaves.discard(leaf)
-        if not leaves:
-            del by_second[second]
-        if not by_second:
-            del index[first]
+        return self._backend.remove(triple)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -129,82 +102,50 @@ class TripleStore:
         Uses the most selective available index; a fully unbound pattern
         enumerates the store.
         """
-        if subject is not None:
-            by_predicate = self._spo.get(subject, {})
-            predicates = (
-                [predicate] if predicate is not None else list(by_predicate)
-            )
-            result = []
-            for pred in predicates:
-                for value in by_predicate.get(pred, ()):
-                    if obj is None or value == obj:
-                        result.append(Triple(subject, pred, value))
-            return result
-        if predicate is not None:
-            by_object = self._pos.get(predicate, {})
-            objects = [obj] if obj is not None else list(by_object)
-            return [
-                Triple(subj, predicate, value)
-                for value in objects
-                for subj in by_object.get(value, ())
-            ]
-        if obj is not None:
-            by_subject = self._osp.get(obj, {})
-            return [
-                Triple(subj, pred, obj)
-                for subj, preds in by_subject.items()
-                for pred in preds
-            ]
-        seen: set[Triple] = set()
-        out: list[Triple] = []
-        for scored in self._claims.values():
-            if scored.triple not in seen:
-                seen.add(scored.triple)
-                out.append(scored.triple)
-        return out
+        return self._backend.match(subject, predicate, obj)
 
     def claims(self, triple: Triple | None = None) -> list[ScoredTriple]:
         """All claims, or all claims of one specific triple."""
-        if triple is None:
-            return list(self._claims.values())
-        return [
-            scored
-            for (stored, _prov), scored in self._claims.items()
-            if stored == triple
-        ]
+        return self._backend.claims(triple)
 
     def claims_for_item(self, subject: str, predicate: str) -> list[ScoredTriple]:
         """Every claim about the data item ``(subject, predicate)``."""
-        return [
-            scored
-            for scored in self._claims.values()
-            if scored.triple.subject == subject
-            and scored.triple.predicate == predicate
-        ]
+        return self._backend.claims_for_item(subject, predicate)
 
     def objects(self, subject: str, predicate: str) -> set[Value]:
         """Distinct object values claimed for a data item."""
-        return set(self._spo.get(subject, {}).get(predicate, set()))
+        return self._backend.objects(subject, predicate)
 
     def subjects(self) -> set[str]:
         """All subjects appearing in the store."""
-        return set(self._spo)
+        return self._backend.subjects()
 
     def predicates(self, subject: str | None = None) -> set[str]:
         """All predicates, optionally restricted to one subject."""
-        if subject is None:
-            return set(self._pos)
-        return set(self._spo.get(subject, {}))
+        return self._backend.predicates(subject)
 
     def sources(self) -> set[str]:
         """Distinct provenance source ids across all claims."""
-        return {scored.provenance.source_id for scored in self._claims.values()}
+        return self._backend.sources()
 
     def extractors(self) -> set[str]:
         """Distinct provenance extractor ids across all claims."""
-        return {
-            scored.provenance.extractor_id for scored in self._claims.values()
-        }
+        return self._backend.extractors()
+
+    # ------------------------------------------------------------------
+    # Lifecycle (no-ops on in-memory backends)
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Persist pending mutations (durability point for disk backends)."""
+        self._backend.flush()
+
+    def compact(self) -> None:
+        """Merge the backend's persistent structures."""
+        self._backend.compact()
+
+    def close(self) -> None:
+        """Release backend OS resources (mmaps, file handles)."""
+        self._backend.close()
 
     # ------------------------------------------------------------------
     # Bulk helpers
@@ -217,6 +158,4 @@ class TripleStore:
 
     def copy(self) -> "TripleStore":
         """A shallow copy holding the same (immutable) claims."""
-        clone = TripleStore()
-        clone.add_all(self.claims())
-        return clone
+        return TripleStore(self._backend.copy())

@@ -201,3 +201,68 @@ class TestApplyDelta:
         assert "+1 claims" in out
         assert "re-fused" in out
         assert "verdicts reused" in out
+
+
+class TestStorageFlags:
+    def test_pipeline_storage_defaults_and_flags(self):
+        defaults = build_parser().parse_args(["pipeline"])
+        assert defaults.storage_backend == "memory"
+        assert defaults.storage_dir is None
+        assert defaults.memtable_limit == 8192
+        args = build_parser().parse_args(
+            [
+                "pipeline", "--storage-backend", "segment",
+                "--storage-dir", "/tmp/segs", "--memtable-limit", "500",
+            ]
+        )
+        assert args.storage_backend == "segment"
+        assert args.storage_dir == "/tmp/segs"
+        assert args.memtable_limit == 500
+
+    def test_metrics_out_includes_post_run_delta_metrics(
+        self, tmp_path, capsys
+    ):
+        """report.metrics is frozen at the end of run(); a delta applied
+        afterwards accrues storage_*/incremental_* metrics that
+        --metrics-out must still export (regression: the CLI used to
+        dump the stale batch snapshot)."""
+        from repro.obs import validate_metrics
+
+        delta_path = tmp_path / "delta.json"
+        delta_path.write_text(
+            json.dumps(
+                {
+                    "label": "cli-storage-test",
+                    "added": [
+                        {
+                            "subject": "delta/test-entity",
+                            "predicate": "capital",
+                            "object": "Testville",
+                            "kind": "string",
+                            "source": "delta-src",
+                            "extractor": "dom",
+                            "confidence": 0.9,
+                        }
+                    ],
+                    "retracted": [],
+                }
+            )
+        )
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            [
+                "pipeline",
+                "--query-scale", "0.0005",
+                "--storage-backend", "segment",
+                "--storage-dir", str(tmp_path / "segs"),
+                "--memtable-limit", "500",
+                "--apply-delta", str(delta_path),
+                "--metrics-out", str(metrics_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        doc = json.loads(metrics_path.read_text())
+        assert validate_metrics(doc) == []
+        assert doc["counters"]["storage_flushes_total"] >= 1
+        assert doc["counters"]["incremental_deltas_total"] == 1
+        assert doc["gauges"]["storage_segments"] >= 1

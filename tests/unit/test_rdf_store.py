@@ -184,3 +184,37 @@ class TestIndexConsistencyAfterRemoval:
         assert store.match(subject="france", obj=Value("Paris")) == []
         assert store.match(predicate="capital", obj=Value("Paris")) == []
         assert store.match(obj=Value("Paris")) == []
+
+
+class TestBackendFacade:
+    def test_default_backend_is_memory(self, store):
+        from repro.rdf.backend import MemoryBackend
+
+        assert isinstance(store.backend, MemoryBackend)
+        assert store.backend.name == "memory"
+
+    def test_snapshot_is_a_stable_list(self, store):
+        frozen = store.snapshot()
+        assert isinstance(frozen, list)
+        assert len(frozen) == 4
+        store.add(claim("spain", "capital", "Madrid"))
+        assert len(frozen) == 4  # snapshot unaffected by later adds
+        assert frozen == store.snapshot()[:4]
+
+    def test_iteration_is_zero_copy(self, store):
+        """Regression: __iter__ used to materialize a full list of the
+        store's claims on every call, which made each fusion compile
+        pass O(n) in allocations.  Plain iteration must now walk the
+        backend's live view without building an intermediate list."""
+        unmaterialized = iter(store)
+        first = next(unmaterialized)
+        assert not isinstance(unmaterialized, type(iter([])))
+        assert first in store.snapshot()
+
+    def test_iter_claims_shares_backend_objects(self, store):
+        # The objects coming out of iteration are the stored objects
+        # themselves, not copies — the incremental journal's identity
+        # checks (`existing is scored`) depend on this.
+        via_iter = {id(scored) for scored in store}
+        via_claims = {id(scored) for scored in store.claims()}
+        assert via_iter == via_claims
