@@ -118,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
         "components; repeatable, applied in order",
     )
     pipeline.add_argument(
+        "--serve", action="store_true",
+        help="route --apply-delta files through the serving layer "
+        "(publish to the event log, consume with redelivery/dedup "
+        "semantics, report version/lag/staleness) instead of calling "
+        "run_incremental directly",
+    )
+    pipeline.add_argument(
         "--metrics-out", metavar="FILE",
         help="write the run's metric snapshot (counters/gauges/"
         "histograms) as JSON",
@@ -244,7 +251,34 @@ def _run_pipeline(args) -> int:
             f"+{augmentation.total_new_attributes()} attributes, "
             f"+{augmentation.new_entities} entities"
         )
-    for path in args.apply_delta:
+    if args.serve and args.apply_delta:
+        from repro.incremental import load_delta
+
+        server = pipeline.serve()
+        for path in args.apply_delta:
+            event = server.publish(load_delta(path))
+            print(
+                f"published {path} as event {event.offset} "
+                f"({event.event_id})"
+            )
+        for outcome in server.drain():
+            print(
+                f"event {outcome.offset}: {outcome.action} -> version "
+                f"{outcome.version_id} (sequence {outcome.sequence}, "
+                f"{outcome.attempts} attempt(s))"
+            )
+        status = server.status()
+        print(
+            f"serving: version {status.version_id}, "
+            f"{status.applied_events} events applied, "
+            f"lag {status.lag_events}, "
+            f"{'DEGRADED' if status.degraded else 'healthy'}"
+            f"{f', {status.poisoned} poisoned' if status.poisoned else ''}"
+        )
+        reader = server.reader()
+        for subject, score in reader.top_entities(5):
+            print(f"  top entity {subject}: belief {score:.3f}")
+    for path in ([] if args.serve else args.apply_delta):
         from repro.incremental import load_delta
 
         incremental = pipeline.run_incremental(load_delta(path))

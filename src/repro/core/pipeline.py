@@ -221,6 +221,12 @@ class PipelineConfig:
     storage_dir: str | None = None
     # Memtable entries that trigger an automatic segment flush.
     memtable_limit: int = 8192
+    # -- Serving --------------------------------------------------------
+    # Event-log backlog bound for Pipeline.serve(): once the serving
+    # consumer lags this many events behind the head, publishes are
+    # rejected with BackpressureError (explicit load shedding; the log
+    # never drops silently).
+    serving_log_capacity: int = 1024
 
 
 @dataclass(slots=True)
@@ -1368,6 +1374,36 @@ class KnowledgeBaseConstructionPipeline:
             primed=primed,
             resumed_from=resumed_from,
             wall_seconds=time.perf_counter() - started,
+        )
+
+    def serve(self, *, resume: bool = False, retry=None, log=None,
+              group: str = "serving"):
+        """Build a :class:`~repro.serving.server.KBServer` over this run.
+
+        Primes the incremental engine if needed (same corpus rules as
+        :meth:`run_incremental`: last ``run()``, or ``resume=True``
+        with a checkpoint), then hands it to a server whose event log,
+        retry policy, quarantine, metrics and fault plan come from the
+        pipeline config.  Readers pin immutable versions while
+        published deltas commit through the stream consumer — see
+        :mod:`repro.serving`.
+        """
+        from repro.serving.server import KBServer
+        from repro.serving.stream import EventLog
+
+        if self.incremental_fusion is None:
+            self._prime_incremental(resume)
+        cfg = self.config
+        return KBServer(
+            self.incremental_fusion.incremental,
+            log if log is not None else EventLog(
+                cfg.serving_log_capacity, metrics=self.metrics
+            ),
+            group=group,
+            retry=retry if retry is not None else cfg.retry,
+            quarantine=Quarantine(capacity=cfg.quarantine_capacity),
+            metrics=self.metrics,
+            fault_plan=cfg.fault_plan,
         )
 
     def _resolve_attributes(self, triples):

@@ -30,16 +30,33 @@ __all__ = ["Quarantine", "guard_records"]
 
 @dataclass(slots=True)
 class Quarantine:
-    """Bounded sink of diverted records with per-source accounting."""
+    """Bounded sink of diverted records with per-source accounting.
+
+    Diverting with ``retain=True`` additionally keeps the record
+    object itself in a per-source dead-letter hold, so a consumer can
+    later list (:meth:`held_items`), inspect, and re-enqueue
+    (:meth:`drain`) what was diverted — the serving layer parks
+    poison deltas here.  Draining pops: each held record comes back
+    exactly once.
+    """
 
     capacity: int = 1000
     sample_limit: int = 3
     total: int = 0
     counts: dict[str, int] = field(default_factory=dict)
     samples: dict[str, list[str]] = field(default_factory=dict)
+    # source -> [(reason, record), ...] in diversion order; only
+    # retain=True diversions land here (bounded by ``capacity`` like
+    # everything else).
+    held: dict[str, list[tuple[str, object]]] = field(default_factory=dict)
 
     def divert(
-        self, source: str, record: object, reason: str = "malformed"
+        self,
+        source: str,
+        record: object,
+        reason: str = "malformed",
+        *,
+        retain: bool = False,
     ) -> None:
         """Record one bad record; raise when capacity would be exceeded.
 
@@ -60,6 +77,37 @@ class Quarantine:
         bucket = self.samples.setdefault(source, [])
         if len(bucket) < self.sample_limit:
             bucket.append(f"{reason}: {repr(record)[:160]}")
+        if retain:
+            self.held.setdefault(source, []).append((reason, record))
+
+    def held_items(
+        self, source: str | None = None
+    ) -> list[tuple[str, str, object]]:
+        """Non-destructive view of retained records.
+
+        Returns ``(source, reason, record)`` tuples in diversion order,
+        optionally restricted to one source.  Inspection never consumes
+        — only :meth:`drain` does.
+        """
+        sources = (
+            [source] if source is not None else sorted(self.held)
+        )
+        return [
+            (name, reason, record)
+            for name in sources
+            for reason, record in self.held.get(name, ())
+        ]
+
+    def drain(self, source: str) -> list[object]:
+        """Pop every retained record of one source (exactly once).
+
+        The per-source counts/samples stay — the quarantine still
+        reports that the diversions *happened* — but the records
+        themselves are handed back for re-enqueueing and a second
+        drain returns nothing.
+        """
+        entries = self.held.pop(source, [])
+        return [record for _reason, record in entries]
 
     def merge(self, other: "Quarantine") -> None:
         """Fold a stage-local quarantine into this one.
@@ -82,10 +130,12 @@ class Quarantine:
                 if len(bucket) >= self.sample_limit:
                     break
                 bucket.append(example)
+        for source, entries in other.held.items():
+            self.held.setdefault(source, []).extend(entries)
 
     def to_dict(self) -> dict:
         """JSON-ready snapshot (sorted for deterministic serialization)."""
-        return {
+        snapshot = {
             "total": self.total,
             "counts": dict(sorted(self.counts.items())),
             "samples": {
@@ -93,6 +143,14 @@ class Quarantine:
                 for source, examples in sorted(self.samples.items())
             },
         }
+        if self.held:
+            # Only when a dead-letter hold is in use, so batch-pipeline
+            # report bytes are unchanged for runs that never retain.
+            snapshot["held"] = {
+                source: len(entries)
+                for source, entries in sorted(self.held.items())
+            }
+        return snapshot
 
 
 def guard_records(

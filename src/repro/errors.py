@@ -44,6 +44,28 @@ class GenerationError(ReproError):
     """Raised when a synthetic-data generator receives invalid parameters."""
 
 
+class ServingError(ReproError):
+    """Raised for invalid serving-layer operations.
+
+    Covers version-handle misuse (committing a non-monotonic version)
+    and stream-consumer misconfiguration; *not* raised for consumer
+    task failures, which go through retry/poison handling instead.
+    """
+
+
+class BackpressureError(ReproError):
+    """Raised when the event log sheds load instead of accepting a publish.
+
+    Carries a machine-readable ``reason`` so producers can distinguish
+    consumer lag from an absolute log bound.  Load shedding is always
+    explicit — the log never silently drops an event.
+    """
+
+    def __init__(self, message: str, *, reason: str = "backpressure") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class RetryExhaustedError(ReproError):
     """Raised when a task keeps failing after every allowed attempt.
 

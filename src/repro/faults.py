@@ -35,7 +35,16 @@ Scope naming convention used across the repo:
   durability points (:mod:`repro.rdf.segments`), indexed by write
   phase: 0 before the segment temp is written, 1 before the segment
   ``os.replace``, 2 before the manifest ``os.replace``, 3 after the
-  manifest lands but before the in-memory commit.
+  manifest lands but before the in-memory commit;
+* ``"stream:*"`` — serving-layer consumer stages
+  (:mod:`repro.serving.server`), indexed by event offset:
+  ``stream:deliver`` fires as an event is taken off the log (before
+  any state changes), ``stream:apply`` inside the retried apply loop
+  (attempt-aware, so ``attempts=N`` models a transient consumer
+  fault), ``stream:commit`` after the delta applied but before the
+  version rebind (a crash here leaves reads fully pre-delta), and
+  ``stream:post-commit`` after the rebind but before the offset ack
+  (a crash here exercises redelivery against the dedup fence).
 """
 
 from __future__ import annotations

@@ -43,6 +43,7 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import random
 import time
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor
@@ -136,6 +137,15 @@ class RetryPolicy:
     dropped and counted in ``JobStats.poisoned_records`` instead of
     sinking the job (reduce chunks re-split into single key-groups the
     same way).
+
+    ``jitter`` (default 0: off, byte-identical to the plain
+    exponential) spreads each delay uniformly over
+    ``[delay*(1-jitter), delay*(1+jitter)]`` so concurrent consumers
+    sharing a policy shape do not retry in lockstep.  The spread is a
+    *pure function* of ``(jitter_seed, retry_number)`` — not of call
+    order — so a schedule is exactly reproducible per seed; pass
+    ``jitter_rng`` (``retry_number -> [0, 1)``) to inject a different
+    deterministic source.
     """
 
     max_attempts: int = 3
@@ -144,6 +154,9 @@ class RetryPolicy:
     resplit_poison: bool = False
     sleep: Callable[[float], None] = time.sleep
     clock: Callable[[], float] = time.perf_counter
+    jitter: float = 0.0
+    jitter_seed: int = 0
+    jitter_rng: Callable[[int], float] | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -152,10 +165,23 @@ class RetryPolicy:
             raise ReproError("backoff_base must be >= 0")
         if self.timeout is not None and self.timeout <= 0:
             raise ReproError("timeout must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ReproError("jitter must lie in [0, 1)")
 
     def backoff(self, retry_number: int) -> float:
         """Seconds to wait before retry ``retry_number`` (0-based)."""
-        return self.backoff_base * (2.0 ** retry_number)
+        delay = self.backoff_base * (2.0 ** retry_number)
+        if self.jitter > 0.0:
+            if self.jitter_rng is not None:
+                unit = self.jitter_rng(retry_number)
+            else:
+                # Distinct int per (seed, retry): pure function of both,
+                # so call order never shifts the schedule.
+                unit = random.Random(
+                    self.jitter_seed * 2_654_435_761 + retry_number
+                ).random()
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return delay
 
 
 def _map_partition(

@@ -1,0 +1,27 @@
+"""Crash-safe KB serving: versioned reads over an event-stream ingest.
+
+The batch pipeline fuses a KB; this package *serves* it.  Readers pin
+immutable :class:`KBVersion` snapshots (store + fusion verdicts) while
+deltas commit new versions through a single atomic rebind, and ingest
+arrives as an append-only :class:`EventLog` consumed at-least-once
+with a dedup fence for exactly-once application.  See
+:mod:`repro.serving.server` for the full crash-safety argument.
+"""
+
+from repro.serving.query import FactView, KBReader
+from repro.serving.server import KBServer, ServingStatus, StepOutcome
+from repro.serving.stream import EventLog, StreamEvent, delta_event_id
+from repro.serving.version import KBVersion, VersionedKB
+
+__all__ = [
+    "EventLog",
+    "FactView",
+    "KBReader",
+    "KBServer",
+    "KBVersion",
+    "ServingStatus",
+    "StepOutcome",
+    "StreamEvent",
+    "VersionedKB",
+    "delta_event_id",
+]

@@ -1,0 +1,160 @@
+"""Query surface over one pinned KB version.
+
+A :class:`KBReader` answers every query from exactly one
+:class:`~repro.serving.version.KBVersion` — the version it pinned at
+construction.  Because versions are immutable, a reader is wait-free
+with respect to ingest: deltas committing new versions never change
+what an existing reader answers, and a fresh reader picks up the new
+version wholesale.  This is snapshot isolation by construction, not by
+locking.
+
+Three query families, each riding an existing index:
+
+* **point lookup** — :meth:`lookup` resolves one data item
+  ``(subject, predicate)`` to its fused truth values with belief
+  scores and supporting-claim counts (SPO path);
+* **scans** — :meth:`scan_subject` enumerates every fused fact of one
+  entity (SPO), :meth:`scan_predicate` every entity holding a fused
+  value for one attribute (POS);
+* **top-k** — :meth:`top_entities` ranks subjects by the summed
+  belief of their fused facts, a cheap "most strongly attested
+  entities" ranking computed lazily once per reader and cached
+  (versions are immutable, so the cache can never go stale).
+
+Reads against a segment-backed store go through the backend's mmapped
+CSR indexes without materializing the corpus — the zero-copy path the
+PR 7 storage engine built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.version import KBVersion
+
+__all__ = ["FactView", "KBReader"]
+
+
+@dataclass(frozen=True, slots=True)
+class FactView:
+    """One fused data item as a reader returns it.
+
+    ``values`` are the fused-true value keys (sorted, deterministic);
+    ``beliefs`` maps each to its fusion belief score; ``claims`` counts
+    the supporting claims the store holds for the item (every value,
+    not only the fused-true ones).
+    """
+
+    subject: str
+    predicate: str
+    values: tuple[str, ...]
+    beliefs: dict[str, float]
+    claims: int
+
+    def is_empty(self) -> bool:
+        return not self.values
+
+    def best(self) -> str | None:
+        """The highest-belief fused value (ties broken lexically)."""
+        if not self.values:
+            return None
+        return max(self.values, key=lambda value: (self.beliefs[value], value))
+
+
+class KBReader:
+    """Reads pinned to one immutable KB version."""
+
+    def __init__(self, version: KBVersion, *, metrics=None) -> None:
+        self.version = version
+        self.metrics = metrics
+        self._ranking: list[tuple[float, str]] | None = None
+
+    # -- point lookups -------------------------------------------------
+    def lookup(self, subject: str, predicate: str) -> FactView:
+        """Fused truths for one data item (empty view when undecided)."""
+        self._count_read("lookup")
+        item = (subject, predicate)
+        result = self.version.result
+        values = tuple(sorted(result.truths.get(item, ())))
+        return FactView(
+            subject=subject,
+            predicate=predicate,
+            values=values,
+            beliefs={
+                value: result.belief_of(item, value) for value in values
+            },
+            claims=len(self.version.store.claims_for_item(subject, predicate)),
+        )
+
+    def belief(self, subject: str, predicate: str, value: str) -> float:
+        """Belief score of one (item, value) pair (0.0 when unknown)."""
+        self._count_read("belief")
+        return self.version.result.belief_of((subject, predicate), value)
+
+    # -- scans ---------------------------------------------------------
+    def scan_subject(self, subject: str) -> list[FactView]:
+        """Every fused fact of one entity, predicate-sorted.
+
+        Predicates come from the pinned store's SPO index; items the
+        store asserts but fusion did not decide appear as empty views,
+        so callers can distinguish "no claims" from "undecided".
+        """
+        self._count_read("scan_subject")
+        return [
+            self.lookup(subject, predicate)
+            for predicate in sorted(self.version.store.predicates(subject))
+        ]
+
+    def scan_predicate(
+        self, predicate: str, *, limit: int | None = None
+    ) -> list[FactView]:
+        """Every entity with a fused value for one attribute (POS path).
+
+        Subject-sorted and optionally bounded; only items with at
+        least one fused-true value are returned.
+        """
+        self._count_read("scan_predicate")
+        result = self.version.result
+        subjects = sorted(
+            {
+                triple.subject
+                for triple in self.version.store.match(predicate=predicate)
+            }
+        )
+        views = []
+        for subject in subjects:
+            if limit is not None and len(views) >= limit:
+                break
+            if result.truths.get((subject, predicate)):
+                views.append(self.lookup(subject, predicate))
+        return views
+
+    # -- top-k ---------------------------------------------------------
+    def top_entities(self, k: int) -> list[tuple[str, float]]:
+        """The k subjects with the highest summed fused-fact belief.
+
+        Deterministic: score descending, then subject ascending.  The
+        full ranking is computed once per reader and cached — the
+        pinned version can never change under it.
+        """
+        self._count_read("top_entities")
+        if self._ranking is None:
+            scores: dict[str, float] = {}
+            result = self.version.result
+            for (subject, _predicate), value_set in result.truths.items():
+                for value in value_set:
+                    scores[subject] = scores.get(subject, 0.0) + (
+                        result.belief.get(((subject, _predicate), value), 0.0)
+                    )
+            self._ranking = sorted(
+                ((score, subject) for subject, score in scores.items()),
+                key=lambda pair: (-pair[0], pair[1]),
+            )
+        return [
+            (subject, score) for score, subject in self._ranking[:k]
+        ]
+
+    # -- plumbing ------------------------------------------------------
+    def _count_read(self, kind: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("serving_reads_total", kind=kind).inc()

@@ -1,0 +1,198 @@
+"""Append-only event log with consumer groups and explicit load shedding.
+
+The serving layer's ingest path is a stream, not a function call
+(ROADMAP item 1; the async-first consumer-group architecture the
+Engram ADR in SNIPPETS.md documents): producers *publish* claim deltas
+as immutable :class:`StreamEvent` records, and the serving consumer
+*delivers* them in offset order with at-least-once semantics.  The
+pieces:
+
+* **Offsets** — events are numbered densely from 0 in append order.
+  The log never reorders and never drops an accepted event.
+* **Consumer groups** — each named group tracks a *committed offset*
+  (the next offset it has durably processed up to).  Delivery reads
+  from the committed offset, so a consumer that crashed mid-event is
+  redelivered that event on restart: at-least-once by construction.
+  Exactly-once *effects* are the consumer's job, via the dedup fence
+  committed inside :class:`~repro.serving.version.KBVersion`.
+* **At-least-once publishing** — a producer that times out and
+  retries may append the same logical event twice.  The log accepts
+  both (it cannot know the first append succeeded); the duplicate
+  carries the same ``event_id``, and the consumer's fence skips it.
+* **Backpressure** — the log bounds *uncommitted backlog*, not total
+  history.  When the slowest registered group lags ``capacity`` events
+  behind the head, ``append`` sheds load by raising
+  :class:`~repro.errors.BackpressureError` with an explicit reason —
+  never a silent drop — and counts the rejection in the metrics
+  registry (``stream_rejected_total``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.errors import BackpressureError, ServingError
+from repro.incremental.delta import ClaimDelta, delta_to_json_dict
+
+__all__ = ["EventLog", "StreamEvent", "delta_event_id"]
+
+
+def delta_event_id(delta: ClaimDelta) -> str:
+    """Content-derived event id for retry-safe publishing.
+
+    Two publishes of the same delta content get the same id, so a
+    producer that re-publishes after an ambiguous failure is
+    deduplicated by the consumer fence.  Distinct deltas that happen
+    to share content (legitimate re-assertions) must pass an explicit
+    ``event_id`` instead.
+    """
+    payload = json.dumps(
+        delta_to_json_dict(delta), sort_keys=True, separators=(",", ":")
+    )
+    return "sha:" + hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamEvent:
+    """One immutable log entry: a claim delta at an offset."""
+
+    offset: int
+    event_id: str
+    delta: ClaimDelta
+
+    def describe(self) -> dict:
+        return {
+            "offset": self.offset,
+            "event_id": self.event_id,
+            "label": self.delta.label,
+            "added": len(self.delta.added),
+            "retracted": len(self.delta.retracted),
+        }
+
+
+class EventLog:
+    """In-process append-only delta log with per-group offset tracking."""
+
+    def __init__(self, capacity: int = 1024, *, metrics=None) -> None:
+        if capacity < 1:
+            raise ServingError("event log capacity must be >= 1")
+        self.capacity = capacity
+        self.metrics = metrics
+        self._events: list[StreamEvent] = []
+        # group -> next offset to deliver (== events durably processed).
+        self._committed: dict[str, int] = {}
+
+    # -- producer side -------------------------------------------------
+    def append(
+        self, delta: ClaimDelta, *, event_id: str | None = None
+    ) -> StreamEvent:
+        """Publish one delta; returns its immutable log entry.
+
+        ``event_id`` defaults to a content digest
+        (:func:`delta_event_id`) so plain publishers get retry-safe
+        idempotency for free.  Raises
+        :class:`~repro.errors.BackpressureError` when the backlog
+        bound would be breached; the log is untouched in that case.
+        """
+        delta.validate()
+        backlog = len(self._events) - self.slowest_committed()
+        if backlog >= self.capacity:
+            self._count("stream_rejected_total", reason="consumer-lag")
+            raise BackpressureError(
+                f"event log backlog {backlog} >= capacity "
+                f"{self.capacity}: consumer lagging, publish rejected "
+                "(retry after the consumer drains)",
+                reason="consumer-lag",
+            )
+        event = StreamEvent(
+            offset=len(self._events),
+            event_id=(
+                event_id if event_id is not None else delta_event_id(delta)
+            ),
+            delta=delta,
+        )
+        self._events.append(event)
+        self._count("stream_events_published_total")
+        return event
+
+    # -- consumer side -------------------------------------------------
+    def register(self, group: str, *, offset: int = 0) -> None:
+        """Register a consumer group starting at ``offset``.
+
+        Re-registering an existing group is a no-op (the committed
+        offset is durable state owned by the group's committed
+        version, not reset by reconnecting).
+        """
+        if offset < 0 or offset > len(self._events):
+            raise ServingError(
+                f"cannot register {group!r} at offset {offset}: log head "
+                f"is {len(self._events)}"
+            )
+        self._committed.setdefault(group, offset)
+
+    def next_event(self, group: str) -> StreamEvent | None:
+        """The next undelivered event for a group (None when caught up).
+
+        Reading does not advance the group — only :meth:`commit_offset`
+        does, so a consumer that crashes between read and commit gets
+        the same event redelivered.
+        """
+        offset = self._require_group(group)
+        if offset >= len(self._events):
+            return None
+        return self._events[offset]
+
+    def commit_offset(self, group: str, offset: int) -> None:
+        """Durably acknowledge processing up to (excluding) ``offset``."""
+        current = self._require_group(group)
+        if offset < current or offset > len(self._events):
+            raise ServingError(
+                f"invalid offset commit for {group!r}: {offset} "
+                f"(committed {current}, head {len(self._events)})"
+            )
+        self._committed[group] = offset
+
+    # -- introspection -------------------------------------------------
+    @property
+    def head(self) -> int:
+        """Offset one past the newest event."""
+        return len(self._events)
+
+    def committed(self, group: str) -> int:
+        """The group's committed offset."""
+        return self._require_group(group)
+
+    def lag(self, group: str) -> int:
+        """Events published but not yet committed by the group."""
+        return len(self._events) - self._require_group(group)
+
+    def slowest_committed(self) -> int:
+        """The minimum committed offset across groups (head if none).
+
+        With no registered groups the backlog bound degrades to an
+        absolute cap on log size — a producer-only log still cannot
+        grow without bound.
+        """
+        if not self._committed:
+            return 0
+        return min(self._committed.values())
+
+    def read(self, offset: int) -> StreamEvent:
+        """Random-access read (inspection/replay tooling)."""
+        if not 0 <= offset < len(self._events):
+            raise ServingError(
+                f"offset {offset} out of range [0, {len(self._events)})"
+            )
+        return self._events[offset]
+
+    def _require_group(self, group: str) -> int:
+        offset = self._committed.get(group)
+        if offset is None:
+            raise ServingError(f"unknown consumer group {group!r}")
+        return offset
+
+    def _count(self, name: str, **labels) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, **labels).inc()

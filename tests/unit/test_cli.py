@@ -202,6 +202,38 @@ class TestApplyDelta:
         assert "re-fused" in out
         assert "verdicts reused" in out
 
+    def test_pipeline_serve_routes_delta_through_stream(
+        self, tmp_path, capsys
+    ):
+        delta_path = tmp_path / "delta.json"
+        delta_path.write_text(
+            json.dumps(
+                {
+                    "label": "cli-serve-test",
+                    "added": [
+                        {
+                            "subject": "delta/test-entity",
+                            "predicate": "capital",
+                            "object": "Testville",
+                            "kind": "string",
+                            "source": "delta-src",
+                            "extractor": "dom",
+                            "confidence": 0.9,
+                        }
+                    ],
+                    "retracted": [],
+                }
+            )
+        )
+        assert main(
+            ["pipeline", "--serve", "--apply-delta", str(delta_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "published" in out
+        assert "event 0: applied -> version 1" in out
+        assert "serving: version 1, 1 events applied, lag 0, healthy" in out
+        assert "top entity" in out
+
 
 class TestStorageFlags:
     def test_pipeline_storage_defaults_and_flags(self):

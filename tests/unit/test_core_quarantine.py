@@ -92,6 +92,49 @@ class TestQuarantine:
             isinstance(examples, list)
             for examples in snapshot["samples"].values()
         )
+        # No dead-letter hold in use -> report bytes unchanged.
+        assert "held" not in snapshot
+
+
+class TestDeadLetterHold:
+    def test_retained_records_are_listable_and_inspectable(self):
+        quarantine = Quarantine()
+        quarantine.divert("stream", {"id": 1}, reason="poison", retain=True)
+        quarantine.divert("stream", {"id": 2}, reason="poison", retain=True)
+        quarantine.divert("dom", "broken")  # not retained
+
+        held = quarantine.held_items()
+        assert [(source, record) for source, _r, record in held] == [
+            ("stream", {"id": 1}), ("stream", {"id": 2}),
+        ]
+        assert all(reason == "poison" for _s, reason, _r in held)
+        assert quarantine.held_items("dom") == []
+        # Inspection is non-destructive.
+        assert len(quarantine.held_items("stream")) == 2
+
+    def test_drain_pops_exactly_once(self):
+        quarantine = Quarantine()
+        quarantine.divert("stream", "delta-a", reason="poison", retain=True)
+        quarantine.divert("stream", "delta-b", reason="poison", retain=True)
+
+        assert quarantine.drain("stream") == ["delta-a", "delta-b"]
+        assert quarantine.drain("stream") == []
+        assert quarantine.held_items("stream") == []
+        # Diversion accounting survives the drain.
+        assert quarantine.counts == {"stream": 2}
+        assert quarantine.total == 2
+
+    def test_merge_carries_held_records(self):
+        parent = Quarantine()
+        child = Quarantine()
+        child.divert("stream", "delta", reason="poison", retain=True)
+        parent.merge(child)
+        assert parent.drain("stream") == ["delta"]
+
+    def test_to_dict_reports_held_counts_when_in_use(self):
+        quarantine = Quarantine()
+        quarantine.divert("stream", "delta", reason="poison", retain=True)
+        assert quarantine.to_dict()["held"] == {"stream": 1}
 
 
 class TestGuardRecords:

@@ -1,0 +1,144 @@
+"""Snapshot-pinning immutability: the invariant serving stands on.
+
+``TripleStore.pin()`` must keep answering from the state at pin time —
+iteration *and* every index lookup path — no matter how the live store
+mutates afterwards, on both storage backends.
+"""
+
+import pytest
+
+from repro.rdf.segments import SegmentBackend
+from repro.rdf.store import StoreSnapshot, TripleStore
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+
+
+def claim(subject, predicate, value, source="src", extractor="ex",
+          conf=0.5, locator=""):
+    return ScoredTriple(
+        Triple(subject, predicate, Value(value)),
+        Provenance(source, extractor, locator),
+        conf,
+    )
+
+
+CORPUS = [
+    claim("france", "capital", "Paris", source="a", conf=0.9),
+    claim("france", "capital", "Lyon", source="b", conf=0.4),
+    claim("france", "population", "67M", source="a", conf=0.7),
+    claim("germany", "capital", "Berlin", source="a", conf=0.8),
+    claim("spain", "capital", "Madrid", source="c", extractor="dom"),
+]
+
+
+def build_store(backend_name, tmp_path):
+    if backend_name == "segment":
+        store = TripleStore(
+            SegmentBackend(tmp_path / "segstore", memtable_limit=3)
+        )
+    else:
+        store = TripleStore()
+    store.add_all(CORPUS)
+    return store
+
+
+def signature(view):
+    """Order-insensitive content signature of any claim iterable."""
+    return sorted(
+        (
+            scored.triple.subject,
+            scored.triple.predicate,
+            scored.triple.obj.lexical,
+            scored.provenance.source_id,
+            scored.provenance.extractor_id,
+            scored.confidence,
+        )
+        for scored in view
+    )
+
+
+def mutate_heavily(store):
+    """Every mutation class: fresh adds, refreshes, removals, batches."""
+    store.add(claim("italy", "capital", "Rome", source="d"))
+    # Confidence refresh of an existing key (replaces the stored claim).
+    store.add(claim("france", "capital", "Paris", source="a", conf=0.99))
+    store.remove(Triple("germany", "capital", Value("Berlin")))
+    store.add_all(
+        [claim("france", "anthem", "La Marseillaise", source="a")]
+    )
+
+
+@pytest.mark.parametrize("backend_name", ["memory", "segment"])
+class TestPinnedSnapshotImmutability:
+    def test_iteration_is_frozen_at_pin_time(self, backend_name, tmp_path):
+        store = build_store(backend_name, tmp_path)
+        pinned = store.pin()
+        before = signature(pinned)
+        assert before == signature(CORPUS)
+
+        mutate_heavily(store)
+
+        assert signature(pinned) == before
+        assert len(pinned) == len(CORPUS)
+        # The live store did move.
+        assert signature(store) != before
+
+    def test_index_lookups_are_frozen_at_pin_time(
+        self, backend_name, tmp_path
+    ):
+        store = build_store(backend_name, tmp_path)
+        pinned = store.pin()
+        before_match = sorted(
+            (t.subject, t.predicate, t.obj.lexical)
+            for t in pinned.match(predicate="capital")
+        )
+        before_objects = pinned.objects("france", "capital")
+        before_item = signature(pinned.claims_for_item("france", "capital"))
+        before_subjects = pinned.subjects()
+        before_predicates = pinned.predicates("france")
+        assert Triple("germany", "capital", Value("Berlin")) in pinned
+
+        mutate_heavily(store)
+
+        assert sorted(
+            (t.subject, t.predicate, t.obj.lexical)
+            for t in pinned.match(predicate="capital")
+        ) == before_match
+        assert pinned.objects("france", "capital") == before_objects
+        assert (
+            signature(pinned.claims_for_item("france", "capital"))
+            == before_item
+        )
+        assert pinned.subjects() == before_subjects
+        assert pinned.predicates("france") == before_predicates
+        # Removed from the live store, still present in the pin.
+        assert Triple("germany", "capital", Value("Berlin")) in pinned
+        assert Triple("germany", "capital", Value("Berlin")) not in store
+        # Added to the live store, absent from the pin.
+        assert Triple("italy", "capital", Value("Rome")) not in pinned
+
+    def test_confidence_refresh_does_not_leak_into_pin(
+        self, backend_name, tmp_path
+    ):
+        store = build_store(backend_name, tmp_path)
+        pinned = store.pin()
+        store.add(claim("france", "capital", "Paris", source="a", conf=0.99))
+        paris = [
+            scored
+            for scored in pinned.claims_for_item("france", "capital")
+            if scored.provenance.source_id == "a"
+        ]
+        assert [scored.confidence for scored in paris] == [0.9]
+
+    def test_snapshot_list_is_frozen_too(self, backend_name, tmp_path):
+        store = build_store(backend_name, tmp_path)
+        flat = store.snapshot()
+        before = signature(flat)
+        mutate_heavily(store)
+        assert signature(flat) == before
+
+    def test_pin_has_no_mutators(self, backend_name, tmp_path):
+        store = build_store(backend_name, tmp_path)
+        pinned = store.pin()
+        assert isinstance(pinned, StoreSnapshot)
+        for mutator in ("add", "add_all", "remove", "merge", "flush"):
+            assert not hasattr(pinned, mutator)

@@ -1,0 +1,160 @@
+"""Unit tests for versioned-KB handles and the pinned query surface."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.fusion.knowledge_fusion import KnowledgeFusion
+from repro.incremental import canonical_claims
+from repro.obs.metrics import MetricsRegistry
+from repro.rdf.store import TripleStore
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+from repro.serving.query import KBReader
+from repro.serving.version import KBVersion, VersionedKB
+
+
+def claim(subject, predicate, value, source, conf=0.8):
+    return ScoredTriple(
+        Triple(subject, predicate, Value(value)),
+        Provenance(source, "ex"),
+        conf,
+    )
+
+
+CORPUS = [
+    # Three sources agree on Paris, one dissents: fused-true = Paris.
+    claim("france", "capital", "Paris", "s1", 0.9),
+    claim("france", "capital", "Paris", "s2", 0.8),
+    claim("france", "capital", "Paris", "s3", 0.8),
+    claim("france", "capital", "Lyon", "s4", 0.3),
+    claim("france", "population", "67M", "s1", 0.7),
+    claim("france", "population", "67M", "s2", 0.7),
+    claim("germany", "capital", "Berlin", "s1", 0.9),
+    claim("germany", "capital", "Berlin", "s2", 0.9),
+    claim("spain", "capital", "Madrid", "s1", 0.8),
+]
+
+
+def build_version(corpus=CORPUS, version_id=0):
+    store = TripleStore()
+    store.add_all(corpus)
+    result = KnowledgeFusion(tolerance=0.0, max_iterations=8).fuse(
+        canonical_claims(store)
+    )
+    return KBVersion(
+        version_id=version_id, sequence=0, store=store, result=result
+    )
+
+
+@pytest.fixture(scope="module")
+def version():
+    return build_version()
+
+
+class TestVersionedKB:
+    def test_pin_returns_the_committed_version(self, version):
+        kb = VersionedKB(version)
+        assert kb.pin() is version
+        assert kb.current is version
+        assert kb.commits == 0
+
+    def test_commit_is_strictly_monotonic(self, version):
+        kb = VersionedKB(version)
+        successor = build_version(version_id=1)
+        kb.commit(successor)
+        assert kb.current is successor
+        assert kb.commits == 1
+        with pytest.raises(ServingError):
+            kb.commit(build_version(version_id=1))  # replayed commit
+        with pytest.raises(ServingError):
+            kb.commit(build_version(version_id=3))  # skipped commit
+
+    def test_pinned_version_survives_later_commits(self, version):
+        kb = VersionedKB(version)
+        pinned = kb.pin()
+        kb.commit(build_version(version_id=1))
+        assert pinned is version
+        assert kb.pin() is not pinned
+
+    def test_describe_is_json_shaped(self, version):
+        summary = version.describe()
+        assert summary["version_id"] == 0
+        assert summary["claims"] == len(CORPUS)
+        assert summary["fused_items"] == len(version.result.truths)
+
+
+class TestPointLookups:
+    def test_lookup_returns_fused_truth_with_belief(self, version):
+        # Value keys come back normalized (lowercased) by fusion.
+        view = KBReader(version).lookup("france", "capital")
+        assert view.values == ("paris",)
+        assert view.best() == "paris"
+        assert view.beliefs["paris"] > 0.5
+        assert view.claims == 4  # every claim on the item, losers too
+
+    def test_lookup_on_unknown_item_is_empty(self, version):
+        view = KBReader(version).lookup("atlantis", "capital")
+        assert view.is_empty()
+        assert view.best() is None
+        assert view.claims == 0
+
+    def test_belief_of_losing_and_unknown_values(self, version):
+        reader = KBReader(version)
+        winner = reader.belief("france", "capital", "paris")
+        loser = reader.belief("france", "capital", "lyon")
+        assert winner > loser > 0.0
+        assert reader.belief("france", "capital", "nowhere") == 0.0
+
+
+class TestScans:
+    def test_scan_subject_is_predicate_sorted_and_complete(self, version):
+        views = KBReader(version).scan_subject("france")
+        assert [view.predicate for view in views] == [
+            "capital", "population",
+        ]
+        assert views[0].best() == "paris"
+        assert views[1].best() == "67m"
+
+    def test_scan_predicate_is_subject_sorted_and_bounded(self, version):
+        reader = KBReader(version)
+        views = reader.scan_predicate("capital")
+        assert [view.subject for view in views] == [
+            "france", "germany", "spain",
+        ]
+        assert [view.subject for view in reader.scan_predicate(
+            "capital", limit=2
+        )] == ["france", "germany"]
+
+    def test_scan_predicate_skips_undecided_items(self, version):
+        views = KBReader(version).scan_predicate("capital")
+        assert all(not view.is_empty() for view in views)
+
+
+class TestTopEntities:
+    def test_ranking_is_deterministic_and_bounded(self, version):
+        reader = KBReader(version)
+        top = reader.top_entities(2)
+        assert len(top) == 2
+        assert top[0][0] == "france"  # two fused facts beat one
+        assert top == reader.top_entities(2)  # cached, stable
+        assert [s for s, _ in reader.top_entities(10)] == sorted(
+            {"france", "germany", "spain"},
+            key=lambda s: (-dict(reader.top_entities(10))[s], s),
+        )
+
+
+class TestReadMetrics:
+    def test_reads_are_counted_by_kind(self, version):
+        metrics = MetricsRegistry()
+        reader = KBReader(version, metrics=metrics)
+        reader.lookup("france", "capital")
+        reader.scan_subject("france")
+        reader.top_entities(1)
+        # scan_subject fans out into per-predicate lookups.
+        lookups = metrics.counter("serving_reads_total", kind="lookup")
+        assert lookups.value == 3
+        assert (
+            metrics.counter(
+                "serving_reads_total", kind="scan_subject"
+            ).value
+            == 1
+        )

@@ -1,0 +1,149 @@
+"""Unit tests for the serving event log (offsets, groups, backpressure)."""
+
+import pytest
+
+from repro.errors import BackpressureError, ServingError
+from repro.incremental.delta import ClaimDelta
+from repro.obs.metrics import MetricsRegistry
+from repro.rdf.triple import Provenance, ScoredTriple, Triple, Value
+from repro.serving.stream import EventLog, delta_event_id
+
+
+def delta(subject="e1", value="v1", label="d"):
+    return ClaimDelta(
+        added=[
+            ScoredTriple(
+                Triple(subject, "attr", Value(value)),
+                Provenance("src", "ex"),
+                0.7,
+            )
+        ],
+        retracted=[],
+        label=label,
+    )
+
+
+class TestEventIds:
+    def test_content_digest_is_stable_and_content_sensitive(self):
+        assert delta_event_id(delta()) == delta_event_id(delta())
+        assert delta_event_id(delta()) != delta_event_id(delta(value="v2"))
+        assert delta_event_id(delta()).startswith("sha:")
+
+    def test_append_defaults_to_content_id_and_accepts_override(self):
+        log = EventLog()
+        auto = log.append(delta())
+        manual = log.append(delta(), event_id="explicit-7")
+        assert auto.event_id == delta_event_id(delta())
+        assert manual.event_id == "explicit-7"
+
+
+class TestOffsets:
+    def test_offsets_are_dense_append_order(self):
+        log = EventLog()
+        events = [log.append(delta(value=f"v{i}")) for i in range(4)]
+        assert [event.offset for event in events] == [0, 1, 2, 3]
+        assert log.head == 4
+        assert log.read(2) is events[2]
+
+    def test_read_out_of_range_raises(self):
+        log = EventLog()
+        log.append(delta())
+        with pytest.raises(ServingError):
+            log.read(1)
+        with pytest.raises(ServingError):
+            log.read(-1)
+
+    def test_delivery_does_not_advance_only_commit_does(self):
+        log = EventLog()
+        log.register("g")
+        first = log.append(delta(value="a"))
+        log.append(delta(value="b"))
+        # Re-reading redelivers the same event: at-least-once.
+        assert log.next_event("g") is first
+        assert log.next_event("g") is first
+        assert log.lag("g") == 2
+        log.commit_offset("g", 1)
+        assert log.next_event("g").offset == 1
+        assert log.committed("g") == 1
+
+    def test_caught_up_group_gets_none(self):
+        log = EventLog()
+        log.register("g")
+        assert log.next_event("g") is None
+
+    def test_commit_cannot_rewind_or_overrun(self):
+        log = EventLog()
+        log.register("g")
+        log.append(delta())
+        log.commit_offset("g", 1)
+        with pytest.raises(ServingError):
+            log.commit_offset("g", 0)  # rewind
+        with pytest.raises(ServingError):
+            log.commit_offset("g", 2)  # past head
+
+
+class TestGroups:
+    def test_unknown_group_raises(self):
+        log = EventLog()
+        with pytest.raises(ServingError):
+            log.next_event("ghost")
+        with pytest.raises(ServingError):
+            log.lag("ghost")
+
+    def test_reregister_is_a_noop(self):
+        log = EventLog()
+        log.register("g")
+        log.append(delta())
+        log.commit_offset("g", 1)
+        log.register("g")  # reconnect must not reset durable progress
+        assert log.committed("g") == 1
+
+    def test_register_beyond_head_rejected(self):
+        log = EventLog()
+        with pytest.raises(ServingError):
+            log.register("g", offset=1)
+
+
+class TestBackpressure:
+    def test_backlog_bound_sheds_load_with_reason(self):
+        metrics = MetricsRegistry()
+        log = EventLog(capacity=2, metrics=metrics)
+        log.register("g")
+        log.append(delta(value="a"))
+        log.append(delta(value="b"))
+        with pytest.raises(BackpressureError) as excinfo:
+            log.append(delta(value="c"))
+        assert excinfo.value.reason == "consumer-lag"
+        # Rejected, not silently dropped: the log is untouched and the
+        # rejection is counted.
+        assert log.head == 2
+        assert (
+            metrics.counter(
+                "stream_rejected_total", reason="consumer-lag"
+            ).value
+            == 1
+        )
+
+    def test_consumer_progress_relieves_backpressure(self):
+        log = EventLog(capacity=2)
+        log.register("g")
+        log.append(delta(value="a"))
+        log.append(delta(value="b"))
+        log.commit_offset("g", 1)
+        assert log.append(delta(value="c")).offset == 2
+
+    def test_slowest_group_governs_the_bound(self):
+        log = EventLog(capacity=2)
+        log.register("fast")
+        log.register("slow")
+        log.append(delta(value="a"))
+        log.append(delta(value="b"))
+        log.commit_offset("fast", 2)
+        with pytest.raises(BackpressureError):
+            log.append(delta(value="c"))
+
+    def test_groupless_log_is_absolutely_capped(self):
+        log = EventLog(capacity=1)
+        log.append(delta(value="a"))
+        with pytest.raises(BackpressureError):
+            log.append(delta(value="b"))
