@@ -1,0 +1,270 @@
+"""Drift serving — epoch-stream throughput and freshness lag report.
+
+Builds a seeded :class:`~repro.synth.drift.DriftingWorld`, primes an
+incremental engine on its base corpus, then publishes every epoch's
+:class:`ClaimDelta` through a :class:`KBServer` event stream.  Two
+regimes:
+
+* **eager** — each epoch is drained as soon as it is published; this
+  measures epochs/sec through the full publish→apply→commit serving
+  path, and every served version is scored with
+  :func:`~repro.evalx.freshness.freshness_report` (fault-free, so the
+  lag must be zero throughout).
+* **batched** — epochs are published continuously but only drained
+  every ``DRAIN_EVERY`` epochs, the shape of a consumer that falls
+  behind a moving world.  The freshness lag after every publish gives
+  the lag distribution; its maximum is pinned at ``DRAIN_EVERY - 1``.
+
+Acceptance: eager lag stays zero, the batched lag distribution tops
+out exactly at ``DRAIN_EVERY - 1``, and the final served KB is
+byte-identical across both regimes (the stream is the same stream,
+however it is drained).
+
+Results land in ``benchmarks/out/drift.txt`` (table) and
+``benchmarks/out/BENCH_drift.json``.  Run standalone with
+``python benchmarks/bench_drift.py [--quick]``; ``--quick`` shrinks
+the world for CI smoke runs.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.evalx.freshness import freshness_report
+from repro.evalx.tables import render_table
+from repro.fusion.knowledge_fusion import KnowledgeFusion
+from repro.rdf.store import TripleStore
+from repro.serving.server import KBServer
+from repro.serving.stream import EventLog
+from repro.synth.drift import DriftConfig, DriftingWorld
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+DRAIN_EVERY = 3
+
+
+def _config(quick: bool) -> DriftConfig:
+    return DriftConfig(
+        seed=42,
+        n_items=24 if quick else 80,
+        n_sources=5 if quick else 8,
+        epochs=6 if quick else 18,
+    )
+
+
+def _server(world: DriftingWorld) -> KBServer:
+    store = TripleStore()
+    store.add_all(world.base)
+    engine = KnowledgeFusion(
+        tolerance=0.0, max_iterations=8
+    ).begin_incremental(store)
+    return KBServer(engine, EventLog(4096))
+
+
+def _lag_of(server: KBServer, published: int) -> int:
+    return published - server.versions.current.version_id
+
+
+def run_eager(world: DriftingWorld) -> dict:
+    server = _server(world)
+    epochs = []
+    started = time.perf_counter()
+    for index, epoch in enumerate(world.epochs, start=1):
+        epoch_started = time.perf_counter()
+        server.publish(epoch.delta)
+        server.drain()
+        seconds = time.perf_counter() - epoch_started
+        version = server.versions.current
+        fresh = freshness_report(
+            version.result.truths,
+            served_epoch=version.version_id,
+            current_epoch=index,
+            served_truth=world.truth_at(version.version_id),
+            current_truth=world.truth_at(index),
+        )
+        epochs.append(
+            {
+                "epoch": index,
+                "delta_claims": (
+                    len(epoch.delta.added) + len(epoch.delta.retracted)
+                ),
+                "seconds": round(seconds, 4),
+                "lag_epochs": fresh.lag_epochs,
+                "staleness": round(fresh.staleness, 4),
+                "f1_vs_served": round(fresh.vs_served.f1, 4),
+            }
+        )
+    total = time.perf_counter() - started
+    return {
+        "total_seconds": round(total, 4),
+        "epochs_per_sec": round(world.current_epoch / total, 3),
+        "final_bytes_sha": _digest(server),
+        "epochs": epochs,
+    }
+
+
+def run_batched(world: DriftingWorld) -> dict:
+    server = _server(world)
+    lags = []
+    started = time.perf_counter()
+    for index, epoch in enumerate(world.epochs, start=1):
+        server.publish(epoch.delta)
+        if index % DRAIN_EVERY == 0 or index == world.current_epoch:
+            server.drain()
+        lags.append(_lag_of(server, index))
+    total = time.perf_counter() - started
+    distribution: dict[str, int] = {}
+    for lag in lags:
+        distribution[str(lag)] = distribution.get(str(lag), 0) + 1
+    return {
+        "drain_every": DRAIN_EVERY,
+        "total_seconds": round(total, 4),
+        "lag_max": max(lags),
+        "lag_mean": round(sum(lags) / len(lags), 4),
+        "lag_distribution": distribution,
+        "final_bytes_sha": _digest(server),
+    }
+
+
+def _digest(server: KBServer) -> str:
+    import hashlib
+
+    return hashlib.sha256(
+        server.versions.current.result.canonical_bytes()
+    ).hexdigest()
+
+
+def run_section(quick: bool) -> dict:
+    cfg = _config(quick)
+    world = DriftingWorld(cfg)
+    started = time.perf_counter()
+    _server(world)  # prime once, timed separately from the stream
+    prime_seconds = time.perf_counter() - started
+    return {
+        "seed": cfg.seed,
+        "items": cfg.n_items,
+        "sources": cfg.n_sources,
+        "epochs": cfg.epochs,
+        "base_claims": len(world.base),
+        "prime_seconds": round(prime_seconds, 4),
+        "eager": run_eager(world),
+        "batched": run_batched(world),
+    }
+
+
+def section_table(section: dict) -> str:
+    eager = section["eager"]
+    rows = [
+        [
+            record["epoch"],
+            record["delta_claims"],
+            f"{record['seconds'] * 1000:.1f}ms",
+            record["lag_epochs"],
+            f"{record['f1_vs_served']:.3f}",
+        ]
+        for record in eager["epochs"]
+    ]
+    throughput = render_table(
+        ["epoch", "delta claims", "publish+drain", "lag", "f1@served"],
+        rows,
+        title=(
+            f"Drift serving ({section['base_claims']} base claims, "
+            f"prime {section['prime_seconds'] * 1000:.1f}ms, "
+            f"{eager['epochs_per_sec']:.2f} epochs/sec)"
+        ),
+    )
+    batched = section["batched"]
+    lag_rows = [
+        [lag, count]
+        for lag, count in sorted(
+            batched["lag_distribution"].items(), key=lambda kv: int(kv[0])
+        )
+    ]
+    lags = render_table(
+        ["lag (epochs)", "publishes"],
+        lag_rows,
+        title=(
+            f"Freshness lag, drain every {batched['drain_every']} "
+            f"(max {batched['lag_max']}, mean {batched['lag_mean']:.2f})"
+        ),
+    )
+    return throughput + "\n\n" + lags
+
+
+def run_all(quick: bool) -> tuple[dict, str]:
+    section = run_section(quick)
+    document = {
+        "meta": {
+            "quick": quick,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "drift": section,
+    }
+    return document, section_table(section)
+
+
+def emit(document: dict, tables: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "drift.txt").write_text(tables + "\n")
+    (OUT_DIR / "BENCH_drift.json").write_text(
+        json.dumps(document, indent=2) + "\n"
+    )
+
+
+def _check(document: dict) -> list[str]:
+    failures = []
+    section = document["drift"]
+    for record in section["eager"]["epochs"]:
+        if record["lag_epochs"] != 0:
+            failures.append(
+                f"eager drain lagged at epoch {record['epoch']}"
+            )
+    if section["batched"]["lag_max"] != DRAIN_EVERY - 1:
+        failures.append(
+            f"batched lag_max {section['batched']['lag_max']} != "
+            f"{DRAIN_EVERY - 1}"
+        )
+    if (
+        section["eager"]["final_bytes_sha"]
+        != section["batched"]["final_bytes_sha"]
+    ):
+        failures.append(
+            "eager and batched drains diverged on the final KB bytes"
+        )
+    if section["eager"]["epochs_per_sec"] <= 0:
+        failures.append("non-positive epoch throughput")
+    return failures
+
+
+def test_drift_report():
+    document, tables = run_all(quick=False)
+    print()
+    print(tables)
+    emit(document, tables)
+    assert not _check(document)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink the world (CI smoke mode)",
+    )
+    options = parser.parse_args(argv)
+    document, tables = run_all(quick=options.quick)
+    print(tables)
+    emit(document, tables)
+    print(f"\nwrote {OUT_DIR / 'BENCH_drift.json'}")
+    failures = _check(document)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -95,11 +95,13 @@ from repro.entity.resolution import (
     apply_resolution,
     build_value_profiles,
 )
+from repro.evalx.freshness import FreshnessReport, freshness_report
 from repro.evalx.metrics import (
     TruthDiscoveryReport,
     evaluate_fusion,
     remap_subjects,
 )
+from repro.evalx.tables import format_ratio, render_table
 from repro.extract.base import ExtractorOutput
 from repro.extract.dom import DomExtractorConfig, DomTreeExtractor
 from repro.extract.kb import KbExtractor, combine_kb_outputs
@@ -113,6 +115,8 @@ from repro.extract.webtext import WebTextExtractor, WebTextExtractorConfig
 from repro.fusion.base import ClaimSet, FusionResult
 from repro.fusion.knowledge_fusion import KnowledgeFusion
 from repro.mapreduce.engine import RetryPolicy
+from repro.synth.copying import CopyingConfig, generate_copying_world
+from repro.synth.drift import DriftConfig, DriftingWorld
 from repro.synth.kb_snapshots import KbPairConfig, build_kb_pair
 from repro.synth.querylog import QueryLogConfig, QueryRecord, generate_query_log
 from repro.synth.websites import WebPage, WebsiteConfig, generate_websites
@@ -227,6 +231,12 @@ class PipelineConfig:
     # rejected with BackpressureError (explicit load shedding; the log
     # never drops silently).
     serving_log_capacity: int = 1024
+    # -- Scenarios ------------------------------------------------------
+    # Default drifting-world scenario for run_drift() (None runs the
+    # DriftConfig defaults); run_drift(config) overrides per call.
+    drift: DriftConfig | None = None
+    # Default copying-world scenario for run_copying().
+    copying: CopyingConfig | None = None
 
 
 @dataclass(slots=True)
@@ -397,6 +407,151 @@ class IncrementalReport:
                 "f1": self.fusion_report.f1,
             },
         }
+
+
+@dataclass(slots=True)
+class DriftEpochRow:
+    """One epoch of a drift scenario as the report records it."""
+
+    epoch: int
+    # The epoch the served KB version corresponds to after this
+    # epoch's delta was published and drained (== epoch unless the
+    # drain crashed and left serving on an earlier committed version).
+    served_epoch: int
+    delta_added: int
+    delta_retracted: int
+    births: int
+    deaths: int
+    renames: int
+    value_changes: int
+    freshness: FreshnessReport
+
+    def to_json_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "served_epoch": self.served_epoch,
+            "delta_added": self.delta_added,
+            "delta_retracted": self.delta_retracted,
+            "births": self.births,
+            "deaths": self.deaths,
+            "renames": self.renames,
+            "value_changes": self.value_changes,
+            "freshness": self.freshness.to_json_dict(),
+        }
+
+
+@dataclass(slots=True)
+class DriftScenarioReport:
+    """Everything one :meth:`run_drift` call produced.
+
+    ``to_json_dict`` is a pure function of the drift config (timing
+    lives only in ``wall_seconds``), so two same-seed runs serialize
+    byte-identically — the end-to-end determinism contract the
+    integration tests pin.
+    """
+
+    seed: int
+    epochs: int
+    base_claims: int
+    final_version: int
+    rows: list[DriftEpochRow] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def to_json_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "epochs": self.epochs,
+            "base_claims": self.base_claims,
+            "final_version": self.final_version,
+            "rows": [row.to_json_dict() for row in self.rows],
+        }
+
+    def table(self) -> str:
+        headers = [
+            "epoch", "served", "lag", "+claims", "-claims",
+            "f1@served", "f1@current", "staleness",
+        ]
+        rows = [
+            [
+                row.epoch,
+                row.served_epoch,
+                row.freshness.lag_epochs,
+                row.delta_added,
+                row.delta_retracted,
+                format_ratio(row.freshness.vs_served.f1),
+                format_ratio(row.freshness.vs_current.f1),
+                format_ratio(row.freshness.staleness),
+            ]
+            for row in self.rows
+        ]
+        return render_table(headers, rows, title="Drift scenario (freshness per epoch)")
+
+
+@dataclass(slots=True)
+class CopyingModeRow:
+    """One fusion mode's outcome on a copying world."""
+
+    mode: str
+    precision: float
+    recall: float
+    suppressed: int
+    leaked: int
+
+    def to_json_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "precision": self.precision,
+            "recall": self.recall,
+            "suppressed": self.suppressed,
+            "leaked": self.leaked,
+        }
+
+
+@dataclass(slots=True)
+class CopyingScenarioReport:
+    """Everything one :meth:`run_copying` call produced."""
+
+    seed: int
+    claims: int
+    copied_errors: int
+    rows: list[CopyingModeRow] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def mode(self, name: str) -> CopyingModeRow:
+        for row in self.rows:
+            if row.mode == name:
+                return row
+        raise KeyError(name)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "claims": self.claims,
+            "copied_errors": self.copied_errors,
+            "rows": [row.to_json_dict() for row in self.rows],
+        }
+
+    def table(self) -> str:
+        headers = [
+            "mode", "precision", "recall", "suppressed", "leaked",
+        ]
+        rows = [
+            [
+                row.mode,
+                format_ratio(row.precision),
+                format_ratio(row.recall),
+                row.suppressed,
+                row.leaked,
+            ]
+            for row in self.rows
+        ]
+        return render_table(
+            headers, rows,
+            title=(
+                f"Copied-error suppression "
+                f"({self.copied_errors} copied errors)"
+            ),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -1405,6 +1560,148 @@ class KnowledgeBaseConstructionPipeline:
             metrics=self.metrics,
             fault_plan=cfg.fault_plan,
         )
+
+    # ------------------------------------------------------------------
+    # Scenario runs: moving truth and copying sources.
+
+    def run_drift(
+        self, config: DriftConfig | None = None
+    ) -> DriftScenarioReport:
+        """Drive serving with a drifting world's epoch-delta stream.
+
+        Builds a seeded :class:`~repro.synth.drift.DriftingWorld`,
+        primes the incremental engine on its base corpus, then
+        publishes each epoch's :class:`ClaimDelta` through
+        :meth:`serve`'s event stream and drains it to a committed KB
+        version.  Every epoch is scored with
+        :func:`~repro.evalx.freshness.freshness_report` against both
+        the truth of the *served* epoch and the *current* truth, so
+        the report separates fusion quality from staleness.  The
+        report's ``to_json_dict`` is deterministic: same config, same
+        bytes.
+        """
+        cfg = config or self.config.drift or DriftConfig()
+        started = time.perf_counter()
+        world = DriftingWorld(cfg)
+        self.metrics.counter("drift_runs_total").inc()
+        self.metrics.counter("drift_base_claims_total").inc(len(world.base))
+
+        # The drift corpus replaces whatever the last run() left: the
+        # engine must be primed fresh on the drifting world's base.
+        self.incremental_fusion = None
+        self._incremental_entity_resolution = None
+        self._incremental_offset = 0
+        self.all_triples = list(world.base)
+        server = self.serve()
+
+        report = DriftScenarioReport(
+            seed=cfg.seed,
+            epochs=cfg.epochs,
+            base_claims=len(world.base),
+            final_version=0,
+        )
+        for index, epoch in enumerate(world.epochs, start=1):
+            truth = epoch.truth
+            self.metrics.counter("drift_epochs_total").inc()
+            self.metrics.counter("drift_births_total").inc(len(truth.born))
+            self.metrics.counter("drift_deaths_total").inc(len(truth.died))
+            self.metrics.counter("drift_renames_total").inc(
+                len(truth.renamed)
+            )
+            self.metrics.counter("drift_value_changes_total").inc(
+                len(truth.changed)
+            )
+            server.publish(epoch.delta)
+            server.drain()
+            version = server.versions.current
+            served_epoch = version.version_id
+            fresh = freshness_report(
+                version.result.truths,
+                served_epoch=served_epoch,
+                current_epoch=index,
+                served_truth=world.truth_at(served_epoch),
+                current_truth=world.truth_at(index),
+            )
+            self.metrics.gauge("drift_freshness_lag_epochs").set(
+                fresh.lag_epochs
+            )
+            self.metrics.gauge("drift_staleness_ratio").set(fresh.staleness)
+            self.metrics.histogram("drift_epoch_delta_claims").observe(
+                len(epoch.delta.added) + len(epoch.delta.retracted)
+            )
+            report.rows.append(
+                DriftEpochRow(
+                    epoch=index,
+                    served_epoch=served_epoch,
+                    delta_added=len(epoch.delta.added),
+                    delta_retracted=len(epoch.delta.retracted),
+                    births=len(truth.born),
+                    deaths=len(truth.died),
+                    renames=len(truth.renamed),
+                    value_changes=len(truth.changed),
+                    freshness=fresh,
+                )
+            )
+        report.final_version = server.versions.current.version_id
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def run_copying(
+        self, config: CopyingConfig | None = None
+    ) -> CopyingScenarioReport:
+        """Fuse a copying world with correlations off, then on.
+
+        Builds a seeded :class:`~repro.synth.copying.CopyingWorld`
+        (copier sources replicating a victim's claims, errors
+        included) and fuses its claims twice — correlation-blind and
+        correlation-aware — scoring each mode's copied-error
+        suppression against the world's gold standard.  The
+        correlation machinery earns its keep when the aware mode
+        suppresses more copied errors than the blind one.
+        """
+        cfg = config or self.config.copying or CopyingConfig()
+        started = time.perf_counter()
+        world = generate_copying_world(cfg)
+        self.metrics.counter("copying_runs_total").inc()
+        self.metrics.counter("copying_claims_total").inc(len(world.claims))
+        self.metrics.counter("copying_copied_errors_total").inc(
+            world.total_copied_errors()
+        )
+
+        report = CopyingScenarioReport(
+            seed=cfg.seed,
+            claims=len(world.claims),
+            copied_errors=world.total_copied_errors(),
+        )
+        for mode, correlated in (
+            ("correlation-blind", False),
+            ("correlation-aware", True),
+        ):
+            fusion = KnowledgeFusion(
+                tolerance=0.0,
+                use_source_correlations=correlated,
+                use_extractor_correlations=False,
+                use_confidence=False,
+            )
+            result = fusion.fuse(world.claims)
+            suppressed, leaked = world.copied_error_outcome(result.truths)
+            self.metrics.counter(
+                "copying_suppressed_total", mode=mode
+            ).inc(suppressed)
+            self.metrics.counter(
+                "copying_leaked_total", mode=mode
+            ).inc(leaked)
+            report.rows.append(
+                CopyingModeRow(
+                    mode=mode,
+                    precision=world.precision_of(result.truths),
+                    recall=world.recall_of(result.truths),
+                    suppressed=suppressed,
+                    leaked=leaked,
+                )
+            )
+        report.wall_seconds = time.perf_counter() - started
+        return report
 
     def _resolve_attributes(self, triples):
         profiles_by_class: dict[str, dict[str, set]] = {}

@@ -1,5 +1,10 @@
 """Evaluation: gold-standard metrics and report tables."""
 
+from repro.evalx.freshness import (
+    FreshnessReport,
+    freshness_report,
+    truth_metrics,
+)
 from repro.evalx.metrics import (
     PrecisionRecall,
     TruthDiscoveryReport,
@@ -12,10 +17,12 @@ from repro.evalx.metrics import (
 from repro.evalx.tables import format_ratio, render_table
 
 __all__ = [
+    "FreshnessReport",
     "PrecisionRecall",
     "TruthDiscoveryReport",
     "attribute_discovery_metrics",
     "evaluate_fusion",
+    "freshness_report",
     "remap_subjects",
     "format_ratio",
     "render_table",

@@ -1,0 +1,121 @@
+"""Freshness / staleness metrics for serving against drifting truth.
+
+When ground truth mutates over epochs (``repro.synth.drift``) the
+served KB version lags behind: it reflects the truth of the epoch it
+was built from, not necessarily the truth *now*.  A
+:class:`FreshnessReport` scores one served version on both axes:
+
+* ``vs_served`` — precision/recall of the served truths against the
+  ground truth **of the epoch the version corresponds to**.  This is
+  pure fusion quality: did fusion recover its own epoch's truth?
+* ``vs_current`` — the same verdicts scored against the **newest**
+  ground truth.  The gap between the two is the cost of staleness.
+* ``lag_epochs`` — how many epochs behind the newest truth the served
+  version is; ``stale_items`` counts the items whose served value is
+  right for its own epoch but wrong now (the drift casualties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evalx.metrics import PrecisionRecall
+
+__all__ = ["FreshnessReport", "freshness_report", "truth_metrics"]
+
+Item = tuple[str, str]
+
+
+def truth_metrics(
+    decided: dict[Item, set[str]], truth: dict[Item, set[str]]
+) -> PrecisionRecall:
+    """Value-level precision/recall of a verdict set against a truth."""
+    true_positives = 0
+    false_positives = 0
+    for item, values in decided.items():
+        gold = truth.get(item, set())
+        for value in values:
+            if value in gold:
+                true_positives += 1
+            else:
+                false_positives += 1
+    false_negatives = sum(
+        1
+        for item, gold in truth.items()
+        for value in gold
+        if value not in decided.get(item, set())
+    )
+    return PrecisionRecall(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class FreshnessReport:
+    """How fresh one served KB version is against a drifting truth."""
+
+    served_epoch: int
+    current_epoch: int
+    vs_served: PrecisionRecall
+    vs_current: PrecisionRecall
+    # Served items correct for their own epoch but wrong (or gone) now.
+    stale_items: int
+    decided_items: int
+
+    @property
+    def lag_epochs(self) -> int:
+        return self.current_epoch - self.served_epoch
+
+    @property
+    def staleness(self) -> float:
+        """Fraction of decided items that drift has invalidated."""
+        if not self.decided_items:
+            return 0.0
+        return self.stale_items / self.decided_items
+
+    def to_json_dict(self) -> dict:
+        return {
+            "served_epoch": self.served_epoch,
+            "current_epoch": self.current_epoch,
+            "lag_epochs": self.lag_epochs,
+            "vs_served": {
+                "precision": self.vs_served.precision,
+                "recall": self.vs_served.recall,
+                "f1": self.vs_served.f1,
+            },
+            "vs_current": {
+                "precision": self.vs_current.precision,
+                "recall": self.vs_current.recall,
+                "f1": self.vs_current.f1,
+            },
+            "stale_items": self.stale_items,
+            "decided_items": self.decided_items,
+            "staleness": self.staleness,
+        }
+
+
+def freshness_report(
+    decided: dict[Item, set[str]],
+    *,
+    served_epoch: int,
+    current_epoch: int,
+    served_truth: dict[Item, set[str]],
+    current_truth: dict[Item, set[str]],
+) -> FreshnessReport:
+    """Score one served verdict set against its epoch's and the newest truth."""
+    stale_items = 0
+    for item, values in decided.items():
+        then = served_truth.get(item, set())
+        now = current_truth.get(item, set())
+        if values & then and not values & now:
+            stale_items += 1
+    return FreshnessReport(
+        served_epoch=served_epoch,
+        current_epoch=current_epoch,
+        vs_served=truth_metrics(decided, served_truth),
+        vs_current=truth_metrics(decided, current_truth),
+        stale_items=stale_items,
+        decided_items=len(decided),
+    )

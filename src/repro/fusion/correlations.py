@@ -21,6 +21,16 @@ from itertools import combinations
 
 from repro.fusion.base import ClaimSet, Item
 
+#: Rarity credited to an agreement no independent witness can vouch
+#: for.  With zero witnesses every agreement earns exactly this much,
+#: so a *pure two-source world* yields a constant dependence of
+#: ``0.2 × |shared| / |union|`` regardless of what the values are —
+#: intended: with no outside evidence, agreement content cannot
+#: distinguish copying from two honest sources, and the constant sits
+#: below the default ``dependence_threshold`` (0.25) so such pairs are
+#: never discounted.  Pinned in tests/unit/test_fusion_correlations.py.
+UNWITNESSED_RARITY = 0.2
+
 
 @dataclass(slots=True)
 class CorrelationEstimate:
@@ -129,10 +139,20 @@ class CorrelationEstimator:
         Rarity is measured among *other* parties — two sources agreeing
         on a value everyone else also asserts (a popular truth) is no
         copying evidence, while agreeing on a value nobody else claims
-        almost certainly is.  The score is the average rarity of the
-        pair's agreements over all values either asserted, so both
-        popular-only agreement and frequent disagreement drive the
-        dependence toward zero.
+        almost certainly is.  With few independent witnesses the
+        observed popularity is unreliable, so it is blended toward the
+        uninformative :data:`UNWITNESSED_RARITY` prior in proportion to
+        the witness count (full trust from two witnesses up).  The old
+        hard cliff — a flat 0.2 for *any* item with fewer than two
+        witnesses — threw away the one witness an item did have: a
+        single independent dissenter (rarity 1.0 under the formula)
+        scored the same 0.2 as no evidence at all, so copier cliques in
+        sparse worlds stayed below the discount threshold.
+
+        The sum is normalized by the size of the pair's value *union*
+        per item (Jaccard style), so both popular-only agreement and
+        frequent disagreement drive the dependence toward zero; a pair
+        that always disagrees scores near 0 even over many items.
         """
         agreement_rarity = 0.0
         union_size = 0
@@ -144,17 +164,24 @@ class CorrelationEstimator:
                 for party in parties
                 if party not in (left, right)
             }
+            witnesses = len(other_parties)
+            # Confidence in the observed popularity: 0 with no
+            # witnesses, 0.5 with one, 1.0 from two up.  ≥2 witnesses
+            # reproduces the pre-fix arithmetic exactly.
+            weight = min(1.0, witnesses / 2.0)
             shared = left_votes[item] & right_votes[item]
             union = left_votes[item] | right_votes[item]
             union_size += len(union)
             for value in shared:
-                if len(other_parties) < 2:
-                    # No independent witnesses: agreement could equally
-                    # be two honest sources stating the truth, so it is
-                    # only weakly informative.
-                    agreement_rarity += 0.2
-                    continue
-                others_claiming = len(by_value.get(value, set()) - {left, right})
-                popularity_among_others = others_claiming / len(other_parties)
-                agreement_rarity += 1.0 - popularity_among_others
+                if witnesses:
+                    others_claiming = len(
+                        by_value.get(value, set()) - {left, right}
+                    )
+                    popularity_among_others = others_claiming / witnesses
+                else:
+                    popularity_among_others = 0.0
+                agreement_rarity += (
+                    (1.0 - weight) * UNWITNESSED_RARITY
+                    + weight * (1.0 - popularity_among_others)
+                )
         return agreement_rarity / union_size if union_size else 0.0

@@ -68,6 +68,7 @@ class KBReader:
         self.version = version
         self.metrics = metrics
         self._ranking: list[tuple[float, str]] | None = None
+        self._by_predicate: dict[str, list[str]] | None = None
 
     # -- point lookups -------------------------------------------------
     def lookup(self, subject: str, predicate: str) -> FactView:
@@ -108,26 +109,33 @@ class KBReader:
     def scan_predicate(
         self, predicate: str, *, limit: int | None = None
     ) -> list[FactView]:
-        """Every entity with a fused value for one attribute (POS path).
+        """Every entity with a fused value for one attribute.
 
         Subject-sorted and optionally bounded; only items with at
-        least one fused-true value are returned.
+        least one fused-true value are returned.  Scans walk a
+        per-predicate index of fused-true subjects built lazily once
+        per reader (the pinned version is immutable, so it can never
+        go stale) — ``limit`` then slices the index instead of
+        materializing and sorting every matching store subject, so a
+        ``limit=1`` scan touches one subject, not the whole corpus.
         """
         self._count_read("scan_predicate")
-        result = self.version.result
-        subjects = sorted(
-            {
-                triple.subject
-                for triple in self.version.store.match(predicate=predicate)
-            }
-        )
-        views = []
-        for subject in subjects:
-            if limit is not None and len(views) >= limit:
-                break
-            if result.truths.get((subject, predicate)):
-                views.append(self.lookup(subject, predicate))
-        return views
+        if self._by_predicate is None:
+            by_predicate: dict[str, list[str]] = {}
+            for (subject, item_predicate), values in (
+                self.version.result.truths.items()
+            ):
+                if values:
+                    by_predicate.setdefault(item_predicate, []).append(
+                        subject
+                    )
+            for subjects in by_predicate.values():
+                subjects.sort()
+            self._by_predicate = by_predicate
+        subjects = self._by_predicate.get(predicate, [])
+        if limit is not None:
+            subjects = subjects[:max(0, limit)]
+        return [self.lookup(subject, predicate) for subject in subjects]
 
     # -- top-k ---------------------------------------------------------
     def top_entities(self, k: int) -> list[tuple[str, float]]:

@@ -6,6 +6,17 @@ from repro.synth.claims import (
     ClaimWorldConfig,
     generate_claim_world,
 )
+from repro.synth.copying import (
+    CopyingConfig,
+    CopyingWorld,
+    generate_copying_world,
+)
+from repro.synth.drift import (
+    DriftConfig,
+    DriftEpoch,
+    DriftingWorld,
+    EpochTruth,
+)
 from repro.synth.catalog import (
     CLASS_NAMES,
     DEFAULT_UNIVERSE_SIZES,
@@ -60,6 +71,12 @@ __all__ = [
     "PAPER_TOTAL_RECORDS",
     "AttributeSpec",
     "ClassCatalog",
+    "CopyingConfig",
+    "CopyingWorld",
+    "DriftConfig",
+    "DriftEpoch",
+    "DriftingWorld",
+    "EpochTruth",
     "GoldFact",
     "GoldMention",
     "GroundTruthWorld",
@@ -79,6 +96,7 @@ __all__ = [
     "build_kb_pair",
     "build_representative_snapshots",
     "decamelize",
+    "generate_copying_world",
     "generate_locations",
     "generate_query_log",
     "generate_websites",

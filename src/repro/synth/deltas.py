@@ -108,15 +108,33 @@ def generate_delta_stream(
         claims_of.setdefault(one.triple, []).append(one)
 
     # Triples currently live, in first-application order (a list so
-    # rng.sample stays deterministic).
-    live: list[Triple] = []
-    seen: set[Triple] = set()
+    # rng.sample stays deterministic).  Retractions tombstone their
+    # slot (O(1) via the position index) instead of list.remove (O(n)
+    # per retraction — quadratic over long, churny streams); skipping
+    # the holes preserves exactly the relative order list.remove kept,
+    # so the streams stay byte-identical (pinned in
+    # tests/unit/test_synth_deltas.py).  The list is compacted in
+    # place, order-preserving, once holes outnumber live entries.
+    live: list[Triple | None] = []
+    position: dict[Triple, int] = {}
 
     def note(added: list[ScoredTriple]) -> None:
         for one in added:
-            if one.triple not in seen:
-                seen.add(one.triple)
+            if one.triple not in position:
+                position[one.triple] = len(live)
                 live.append(one.triple)
+
+    def retract(triple: Triple) -> None:
+        live[position.pop(triple)] = None
+
+    def compact() -> None:
+        if len(live) <= 2 * len(position):
+            return
+        live[:] = [triple for triple in live if triple is not None]
+        position.clear()
+        position.update(
+            (triple, index) for index, triple in enumerate(live)
+        )
 
     note(base)
     deltas: list[ClaimDelta] = []
@@ -130,15 +148,17 @@ def generate_delta_stream(
 
         added_triples = {one.triple for one in additions}
         candidates = [
-            triple for triple in live if triple not in added_triples
+            triple
+            for triple in live
+            if triple is not None and triple not in added_triples
         ]
         wanted = int(round(cfg.retract_fraction * len(additions)))
         # Never retract the whole store.
-        wanted = min(wanted, len(candidates), max(0, len(live) - 1))
+        wanted = min(wanted, len(candidates), max(0, len(position) - 1))
         retractions = rng.sample(candidates, wanted) if wanted else []
         for triple in retractions:
-            live.remove(triple)
-            seen.discard(triple)
+            retract(triple)
+        compact()
 
         readd = int(round(cfg.readd_fraction * len(retractions)))
         for triple in retractions[:readd]:

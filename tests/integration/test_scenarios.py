@@ -1,0 +1,161 @@
+"""Integration tests: drift and copying scenarios through the pipeline.
+
+These pin the two acceptance contracts of the moving-truth scenarios:
+
+* :meth:`run_drift` drives the epoch-delta stream end-to-end through
+  :meth:`Pipeline.serve` and its JSON report is byte-identical across
+  two same-seed runs (determinism survives the full serving stack, not
+  just the generator).
+* :meth:`run_copying`'s eval table shows the correlation-aware mode
+  suppressing strictly more copied errors than the correlation-blind
+  mode, at no worse precision.
+"""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import (
+    CopyingScenarioReport,
+    DriftScenarioReport,
+    KnowledgeBaseConstructionPipeline,
+    PipelineConfig,
+)
+from repro.obs.schema import validate_metrics
+from repro.synth.copying import CopyingConfig
+from repro.synth.drift import DriftConfig
+
+DRIFT = DriftConfig(seed=7, n_items=24, n_sources=5, epochs=4)
+COPYING = CopyingConfig(seed=0, n_items=60, lag=1)
+
+
+def _report_bytes(report):
+    return json.dumps(
+        report.to_json_dict(), sort_keys=True, separators=(",", ":")
+    )
+
+
+class TestRunDrift:
+    @pytest.fixture(scope="class")
+    def drift_report(self):
+        pipeline = KnowledgeBaseConstructionPipeline(
+            PipelineConfig(drift=DRIFT)
+        )
+        report = pipeline.run_drift()
+        return pipeline, report
+
+    def test_report_shape(self, drift_report):
+        _, report = drift_report
+        assert isinstance(report, DriftScenarioReport)
+        assert report.seed == DRIFT.seed
+        assert len(report.rows) == DRIFT.epochs
+        assert report.base_claims > 0
+        assert report.wall_seconds > 0
+
+    def test_serving_tracks_every_epoch(self, drift_report):
+        pipeline, report = drift_report
+        # Fault-free: serving commits each epoch as it is published.
+        for row in report.rows:
+            assert row.served_epoch == row.epoch
+            assert row.freshness.lag_epochs == 0
+            assert row.freshness.staleness == 0.0
+        assert report.final_version == DRIFT.epochs
+        # The drift corpus replaced the claim corpus: a fresh server
+        # primes on the post-drift engine state.
+        assert pipeline.serve().versions.current.sequence == DRIFT.epochs
+
+    def test_fusion_quality_holds_under_drift(self, drift_report):
+        _, report = drift_report
+        for row in report.rows:
+            assert row.freshness.vs_served.f1 > 0.7
+
+    def test_double_run_is_byte_identical(self, drift_report):
+        _, first = drift_report
+        second = KnowledgeBaseConstructionPipeline(
+            PipelineConfig(drift=DRIFT)
+        ).run_drift()
+        assert _report_bytes(first) == _report_bytes(second)
+
+    def test_metrics_published_and_schema_valid(self, drift_report):
+        pipeline, _ = drift_report
+        snapshot = pipeline.metrics.snapshot().to_json_dict()
+        validate_metrics(snapshot)
+        counters = snapshot["counters"]
+        assert counters["drift_runs_total"] == 1
+        assert counters["drift_epochs_total"] == DRIFT.epochs
+        assert "drift_freshness_lag_epochs" in snapshot["gauges"]
+        assert "drift_staleness_ratio" in snapshot["gauges"]
+
+    def test_table_renders(self, drift_report):
+        _, report = drift_report
+        table = report.table()
+        assert "epoch" in table
+        assert "f1@served" in table
+
+    def test_explicit_config_overrides_pipeline_config(self):
+        pipeline = KnowledgeBaseConstructionPipeline(
+            PipelineConfig(drift=DRIFT)
+        )
+        other = DriftConfig(seed=1, n_items=12, n_sources=4, epochs=2)
+        report = pipeline.run_drift(other)
+        assert report.seed == 1
+        assert len(report.rows) == 2
+
+
+class TestRunCopying:
+    @pytest.fixture(scope="class")
+    def copying_report(self):
+        pipeline = KnowledgeBaseConstructionPipeline(
+            PipelineConfig(copying=COPYING)
+        )
+        report = pipeline.run_copying()
+        return pipeline, report
+
+    def test_report_shape(self, copying_report):
+        _, report = copying_report
+        assert isinstance(report, CopyingScenarioReport)
+        assert report.copied_errors > 0
+        assert {row.mode for row in report.rows} == {
+            "correlation-blind", "correlation-aware"
+        }
+
+    def test_aware_beats_blind_on_suppression(self, copying_report):
+        _, report = copying_report
+        blind = report.mode("correlation-blind")
+        aware = report.mode("correlation-aware")
+        assert aware.suppressed > blind.suppressed
+        assert aware.leaked < blind.leaked
+        assert aware.precision >= blind.precision
+
+    def test_outcome_partition(self, copying_report):
+        _, report = copying_report
+        for row in report.rows:
+            assert row.suppressed + row.leaked == report.copied_errors
+
+    def test_metrics_published_and_schema_valid(self, copying_report):
+        pipeline, report = copying_report
+        snapshot = pipeline.metrics.snapshot().to_json_dict()
+        validate_metrics(snapshot)
+        counters = snapshot["counters"]
+        assert counters["copying_runs_total"] == 1
+        assert (
+            counters["copying_copied_errors_total"] == report.copied_errors
+        )
+        aware = report.mode("correlation-aware")
+        assert (
+            counters['copying_suppressed_total{mode=correlation-aware}']
+            == aware.suppressed
+        )
+
+    def test_double_run_is_byte_identical(self, copying_report):
+        _, first = copying_report
+        second = KnowledgeBaseConstructionPipeline(
+            PipelineConfig(copying=COPYING)
+        ).run_copying()
+        assert _report_bytes(first) == _report_bytes(second)
+
+    def test_table_renders(self, copying_report):
+        _, report = copying_report
+        table = report.table()
+        assert "correlation-aware" in table
+        assert "suppressed" in table

@@ -1,0 +1,142 @@
+"""Drift-stream properties: replay determinism and incremental parity.
+
+Two contracts of :class:`repro.synth.drift.DriftingWorld`:
+
+* **Replay determinism** — the world is a pure function of its config:
+  constructing it twice with the same seed yields byte-identical base
+  corpora, epoch-delta JSON and epoch-truth sequences.
+* **Incremental parity** — applying the epoch deltas through an
+  :class:`IncrementalFusion` primed on the base corpus is
+  byte-identical (``FusionResult.canonical_bytes`` at ``tolerance=0``)
+  to a fresh full fusion of a reference store journalled with the same
+  deltas, at every epoch.
+"""
+
+import json
+
+import pytest
+
+from repro.fusion.knowledge_fusion import KnowledgeFusion
+from repro.incremental import DeltaJournal, canonical_claims
+from repro.incremental.delta import delta_to_json_dict
+from repro.rdf.store import TripleStore
+from repro.synth.drift import DriftConfig, DriftingWorld
+
+
+def _fusion():
+    return KnowledgeFusion(tolerance=0.0, max_iterations=8)
+
+
+def _config(seed):
+    return DriftConfig(seed=seed, n_items=18, n_sources=5, epochs=4)
+
+
+def _world_bytes(world):
+    """Canonical JSON of everything a drift world generated."""
+    payload = {
+        "base": [
+            [
+                scored.triple.subject,
+                scored.triple.predicate,
+                scored.triple.obj.lexical,
+                scored.provenance.source_id,
+                scored.provenance.extractor_id,
+                round(scored.confidence, 12),
+            ]
+            for scored in world.base
+        ],
+        "deltas": [
+            delta_to_json_dict(delta) for delta in world.deltas()
+        ],
+        "truths": [
+            {
+                f"{subject}|{predicate}": sorted(values)
+                for (subject, predicate), values in sorted(
+                    world.truth_at(epoch).items()
+                )
+            }
+            for epoch in range(world.current_epoch + 1)
+        ],
+        "events": [
+            epoch.truth.to_json_dict() for epoch in world.epochs
+        ],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.mark.parametrize("seed", [0, 7, 19])
+def test_same_seed_replays_byte_identically(seed):
+    first = DriftingWorld(_config(seed))
+    second = DriftingWorld(_config(seed))
+    assert _world_bytes(first) == _world_bytes(second)
+
+
+def test_different_seeds_diverge():
+    assert _world_bytes(DriftingWorld(_config(1))) != _world_bytes(
+        DriftingWorld(_config(2))
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 7, 19])
+def test_incremental_equals_full_refusion_per_epoch(seed):
+    world = DriftingWorld(_config(seed))
+
+    base_store = TripleStore()
+    base_store.add_all(world.base)
+    reference_store = base_store.copy()
+    reference_journal = DeltaJournal(reference_store)
+
+    engine = _fusion().begin_incremental(base_store)
+    assert (
+        engine.result.canonical_bytes()
+        == _fusion().fuse(canonical_claims(reference_store)).canonical_bytes()
+    )
+
+    for drift_epoch in world.epochs:
+        engine.apply_delta(drift_epoch.delta)
+        reference_journal.apply(drift_epoch.delta)
+        reference = _fusion().fuse(canonical_claims(reference_store))
+        assert (
+            engine.result.canonical_bytes() == reference.canonical_bytes()
+        ), f"epoch {drift_epoch.truth.epoch} diverged from full re-fusion"
+
+
+def test_deltas_retract_only_live_claims():
+    """Every retraction targets a triple currently in the store."""
+    world = DriftingWorld(_config(7))
+    live = {scored.triple for scored in world.base}
+    for drift_epoch in world.epochs:
+        delta = drift_epoch.delta
+        for triple in delta.retracted:
+            assert triple in live, "retracted a triple not in the store"
+        live -= set(delta.retracted)
+        live |= {scored.triple for scored in delta.added}
+        assert live, "drift stream emptied the store"
+
+
+def test_truths_track_events():
+    """Births/deaths/renames/changes are reflected in the truth maps."""
+    world = DriftingWorld(_config(0))
+    for index, drift_epoch in enumerate(world.epochs, start=1):
+        before = world.truth_at(index - 1)
+        after = world.truth_at(index)
+        truth = drift_epoch.truth
+        before_subjects = {subject for subject, _ in before}
+        after_subjects = {subject for subject, _ in after}
+        for subject in truth.born:
+            assert subject not in before_subjects
+            assert subject in after_subjects
+        for subject in truth.died:
+            assert subject in before_subjects
+            assert subject not in after_subjects
+        for subject, old_predicate, new_predicate in truth.renamed:
+            assert (subject, old_predicate) in before
+            assert (subject, new_predicate) in after
+        for subject, old_value, new_value in truth.changed:
+            assert old_value != new_value
+            matches = [
+                values
+                for (item_subject, _), values in after.items()
+                if item_subject == subject
+            ]
+            assert any(new_value in values for values in matches)

@@ -1,0 +1,108 @@
+"""Unit tests for freshness/staleness metrics."""
+
+import pytest
+
+from repro.evalx.freshness import freshness_report, truth_metrics
+
+ITEM_A = ("a", "attr")
+ITEM_B = ("b", "attr")
+ITEM_C = ("c", "attr")
+
+
+class TestTruthMetrics:
+    def test_exact_match(self):
+        truth = {ITEM_A: {"x"}, ITEM_B: {"y"}}
+        metrics = truth_metrics(truth, truth)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+
+    def test_partial_overlap(self):
+        decided = {ITEM_A: {"x"}, ITEM_B: {"wrong"}}
+        truth = {ITEM_A: {"x"}, ITEM_B: {"y"}, ITEM_C: {"z"}}
+        metrics = truth_metrics(decided, truth)
+        assert metrics.true_positives == 1
+        assert metrics.false_positives == 1
+        assert metrics.false_negatives == 2
+        assert metrics.precision == pytest.approx(0.5)
+        assert metrics.recall == pytest.approx(1 / 3)
+
+    def test_empty_sides(self):
+        assert truth_metrics({}, {}).f1 == 0.0
+        assert truth_metrics({}, {ITEM_A: {"x"}}).false_negatives == 1
+        assert truth_metrics({ITEM_A: {"x"}}, {}).false_positives == 1
+
+
+class TestFreshnessReport:
+    def test_fresh_version_has_no_staleness(self):
+        truth = {ITEM_A: {"x"}}
+        report = freshness_report(
+            truth,
+            served_epoch=3,
+            current_epoch=3,
+            served_truth=truth,
+            current_truth=truth,
+        )
+        assert report.lag_epochs == 0
+        assert report.staleness == 0.0
+        assert report.vs_served.f1 == 1.0
+        assert report.vs_current.f1 == 1.0
+
+    def test_drifted_value_counts_as_stale(self):
+        # Served truth said x; the world moved on to x2.  The served
+        # verdict is right for its epoch, wrong now.
+        decided = {ITEM_A: {"x"}, ITEM_B: {"y"}}
+        served_truth = {ITEM_A: {"x"}, ITEM_B: {"y"}}
+        current_truth = {ITEM_A: {"x2"}, ITEM_B: {"y"}}
+        report = freshness_report(
+            decided,
+            served_epoch=2,
+            current_epoch=4,
+            served_truth=served_truth,
+            current_truth=current_truth,
+        )
+        assert report.lag_epochs == 2
+        assert report.stale_items == 1
+        assert report.staleness == pytest.approx(0.5)
+        assert report.vs_served.f1 == 1.0
+        assert report.vs_current.f1 < 1.0
+
+    def test_dead_item_counts_as_stale(self):
+        # The entity died: right for its epoch, absent from truth now.
+        decided = {ITEM_A: {"x"}}
+        report = freshness_report(
+            decided,
+            served_epoch=1,
+            current_epoch=2,
+            served_truth={ITEM_A: {"x"}},
+            current_truth={},
+        )
+        assert report.stale_items == 1
+        assert report.staleness == 1.0
+
+    def test_wrong_then_is_not_stale(self):
+        # A verdict wrong for its own epoch is a fusion error, not a
+        # staleness casualty.
+        decided = {ITEM_A: {"bogus"}}
+        report = freshness_report(
+            decided,
+            served_epoch=1,
+            current_epoch=2,
+            served_truth={ITEM_A: {"x"}},
+            current_truth={ITEM_A: {"y"}},
+        )
+        assert report.stale_items == 0
+        assert report.vs_served.precision == 0.0
+
+    def test_json_shape(self):
+        report = freshness_report(
+            {ITEM_A: {"x"}},
+            served_epoch=1,
+            current_epoch=3,
+            served_truth={ITEM_A: {"x"}},
+            current_truth={ITEM_A: {"x"}},
+        )
+        payload = report.to_json_dict()
+        assert payload["lag_epochs"] == 2
+        assert set(payload["vs_served"]) == {"precision", "recall", "f1"}
+        assert payload["decided_items"] == 1

@@ -115,3 +115,87 @@ class TestExtractorDimension:
             by="extractor", min_common_items=3
         ).estimate(claims)
         assert estimate.pair("dom", "domcopy") > estimate.pair("dom", "text")
+
+
+class TestWitnessBlending:
+    """Regression tests for the <2-witness rarity cliff (ISSUE 9).
+
+    ``_pair_dependence`` used to credit a flat 0.2 rarity to any
+    agreement on an item with fewer than two independent witnesses,
+    discarding the evidence of the one witness an item *did* have.
+    Rarity is now blended between the uninformative prior (0.2) and
+    the observed popularity, weighted by witness count; the ≥2-witness
+    arithmetic is unchanged.
+    """
+
+    def test_single_dissenting_witness_crosses_threshold(self):
+        # Pre-fix failing: every item has exactly ONE independent
+        # witness, and it always disagrees with the left/right pair.
+        # Old code scored a flat 0.2 (below the 0.25 discount
+        # threshold); the blend gives 0.5*0.2 + 0.5*1.0 = 0.6.
+        claims = ClaimSet()
+        for index in range(10):
+            item = (f"e{index}", "a")
+            claims.add(claim(item, f"v{index}", "left"))
+            claims.add(claim(item, f"v{index}", "right"))
+            claims.add(claim(item, f"other{index}", "witness"))
+        estimate = CorrelationEstimator(min_common_items=3).estimate(claims)
+        assert estimate.pair("left", "right") == pytest.approx(0.6)
+        assert estimate.pair("left", "right") >= 0.25
+
+    def test_single_agreeing_witness_stays_weak(self):
+        # One witness that always AGREES: popularity 1.0, so the blend
+        # gives 0.5*0.2 + 0.5*0.0 = 0.1 — weaker than no witness at
+        # all, as it should be.
+        claims = ClaimSet()
+        for index in range(10):
+            item = (f"e{index}", "a")
+            for source in ("left", "right", "witness"):
+                claims.add(claim(item, f"v{index}", source))
+        estimate = CorrelationEstimator(min_common_items=3).estimate(claims)
+        assert estimate.pair("left", "right") == pytest.approx(0.1)
+        assert estimate.pair("left", "right") < 0.25
+
+    def test_two_source_world_pins_constant_dependence(self):
+        # Audit outcome, documented + pinned: in a PURE two-source
+        # world there are no witnesses, so dependence is exactly
+        # 0.2 * |shared| / |union| regardless of the values' content.
+        # Full agreement -> 0.2 (below threshold, never discounted).
+        claims = ClaimSet()
+        for index in range(10):
+            item = (f"e{index}", "a")
+            claims.add(claim(item, f"v{index}", "left"))
+            claims.add(claim(item, f"v{index}", "right"))
+        estimate = CorrelationEstimator(min_common_items=3).estimate(claims)
+        assert estimate.pair("left", "right") == pytest.approx(0.2)
+
+    def test_union_normalization_pinned(self):
+        # Audit outcome, documented + pinned: the per-item divisor is
+        # the pair's value-UNION size (Jaccard style), so private
+        # disagreements dilute the score: each item shares one value
+        # but unions three ({v, l, r}), giving 10 agreements at rarity
+        # 0.2 over a union of 30.
+        claims = ClaimSet()
+        for index in range(10):
+            item = (f"e{index}", "a")
+            claims.add(claim(item, f"v{index}", "left"))
+            claims.add(claim(item, f"v{index}", "right"))
+            claims.add(claim(item, f"l{index}", "left"))
+            claims.add(claim(item, f"r{index}", "right"))
+        estimate = CorrelationEstimator(min_common_items=3).estimate(claims)
+        assert estimate.pair("left", "right") == pytest.approx(
+            (10 * 0.2) / 30
+        )
+
+    def test_two_or_more_witnesses_unchanged(self):
+        # The ≥2-witness formula is byte-for-byte the pre-fix one:
+        # two witnesses, one agreeing -> popularity 0.5, rarity 0.5.
+        claims = ClaimSet()
+        for index in range(10):
+            item = (f"e{index}", "a")
+            claims.add(claim(item, f"v{index}", "left"))
+            claims.add(claim(item, f"v{index}", "right"))
+            claims.add(claim(item, f"v{index}", "w1"))
+            claims.add(claim(item, f"other{index}", "w2"))
+        estimate = CorrelationEstimator(min_common_items=3).estimate(claims)
+        assert estimate.pair("left", "right") == pytest.approx(0.5)

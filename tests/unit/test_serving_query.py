@@ -158,3 +158,73 @@ class TestReadMetrics:
             ).value
             == 1
         )
+
+
+class CountingStore(TripleStore):
+    """TripleStore that counts the reader-visible access paths."""
+
+    def __init__(self):
+        super().__init__()
+        self.match_calls = 0
+        self.claims_for_item_calls = 0
+
+    def match(self, *args, **kwargs):
+        self.match_calls += 1
+        return super().match(*args, **kwargs)
+
+    def claims_for_item(self, *args, **kwargs):
+        self.claims_for_item_calls += 1
+        return super().claims_for_item(*args, **kwargs)
+
+
+class TestScanPredicateShortCircuit:
+    """Regression: a bounded scan must not materialize the store.
+
+    ``scan_predicate`` used to pull *every* matching triple out of the
+    store, dedupe and sort the full subject set, and only then apply
+    ``limit`` — a limit-1 scan over a large predicate paid for the
+    whole corpus.  It now walks a lazily-built per-predicate index of
+    fused-true subjects, so a bounded scan touches exactly the
+    subjects it returns.
+    """
+
+    def build(self, n_subjects=200):
+        corpus = []
+        for index in range(n_subjects):
+            subject = f"entity{index:04d}"
+            corpus.append(claim(subject, "capital", f"city{index}", "s1"))
+            corpus.append(claim(subject, "capital", f"city{index}", "s2"))
+        store = CountingStore()
+        store.add_all(corpus)
+        result = KnowledgeFusion(tolerance=0.0, max_iterations=8).fuse(
+            canonical_claims(store)
+        )
+        store.match_calls = 0
+        store.claims_for_item_calls = 0
+        return store, KBVersion(
+            version_id=0, sequence=0, store=store, result=result
+        )
+
+    def test_limit_1_touches_one_subject(self):
+        store, version = self.build()
+        views = KBReader(version).scan_predicate("capital", limit=1)
+        assert [view.subject for view in views] == ["entity0000"]
+        assert store.match_calls == 0, (
+            "bounded scan materialized the store's full subject set"
+        )
+        assert store.claims_for_item_calls == 1, (
+            "bounded scan looked up more subjects than it returned"
+        )
+
+    def test_unbounded_scan_is_unchanged(self):
+        store, version = self.build(n_subjects=25)
+        views = KBReader(version).scan_predicate("capital")
+        assert [view.subject for view in views] == [
+            f"entity{index:04d}" for index in range(25)
+        ]
+
+    def test_limit_zero_and_missing_predicate(self):
+        _store, version = self.build(n_subjects=5)
+        reader = KBReader(version)
+        assert reader.scan_predicate("capital", limit=0) == []
+        assert reader.scan_predicate("nope") == []

@@ -1,0 +1,107 @@
+"""Unit tests for the source-copying scenario generator."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.synth.copying import CopyingConfig, generate_copying_world
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_items": 0},
+            {"n_independent": 0},
+            {"n_copiers": -1},
+            {"coverage": 0.0},
+            {"victim_accuracy": 1.5},
+            {"copy_fraction": -0.1},
+            {"mutation_rate": 2.0},
+            {"correction_rate": -1.0},
+            {"lag": -1},
+            {"false_pool": 0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(GenerationError):
+            CopyingConfig(**kwargs).validate()
+
+
+class TestGeneration:
+    def test_world_shape(self):
+        world = generate_copying_world(CopyingConfig(seed=1))
+        assert len(world.claims)
+        assert len(world.truths) == 80
+        assert len(world.independents) == 4
+        assert len(world.copiers) == 3
+        sources = world.claims.sources()
+        assert world.victim in sources
+        for copier in world.copiers:
+            assert copier in sources
+
+    def test_same_seed_is_deterministic(self):
+        def signature(world):
+            return sorted(
+                (c.item, c.value, c.source_id) for c in world.claims
+            )
+
+        first = generate_copying_world(CopyingConfig(seed=5))
+        second = generate_copying_world(CopyingConfig(seed=5))
+        assert signature(first) == signature(second)
+        assert first.copied_errors == second.copied_errors
+
+    def test_copied_errors_are_victim_errors_echoed_by_copiers(self):
+        world = generate_copying_world(CopyingConfig(seed=0))
+        assert world.total_copied_errors() > 0
+        claims_of = {}
+        for claim in world.claims:
+            claims_of.setdefault(claim.source_id, set()).add(
+                (claim.item, claim.value)
+            )
+        for item, values in world.copied_errors.items():
+            gold = world.truths[item]
+            for value in values:
+                assert value not in gold  # they are errors
+                assert any(  # echoed verbatim by some copier
+                    (item, value) in claims_of[copier]
+                    for copier in world.copiers
+                )
+
+    def test_no_copiers_no_copied_errors(self):
+        world = generate_copying_world(CopyingConfig(seed=2, n_copiers=0))
+        assert world.total_copied_errors() == 0
+        assert world.copiers == ()
+
+    def test_lag_lets_victim_correct_but_copies_stay_wrong(self):
+        # With full correction after the copy, the victim's published
+        # claims are all true, yet copied errors persist.
+        world = generate_copying_world(
+            CopyingConfig(seed=3, lag=1, correction_rate=1.0)
+        )
+        victim_claims = [
+            claim for claim in world.claims
+            if claim.source_id == world.victim
+        ]
+        for claim in victim_claims:
+            assert claim.value in world.truths[claim.item]
+        assert world.total_copied_errors() > 0
+
+    def test_outcome_partition(self):
+        world = generate_copying_world(CopyingConfig(seed=0))
+        total = world.total_copied_errors()
+        # Nothing decided: every copied error counts as suppressed.
+        suppressed, leaked = world.copied_error_outcome({})
+        assert (suppressed, leaked) == (total, 0)
+        # Everything decided true: every copied error leaks.
+        suppressed, leaked = world.copied_error_outcome(
+            {item: set(values) for item, values in world.copied_errors.items()}
+        )
+        assert (suppressed, leaked) == (0, total)
+
+    def test_precision_recall_against_gold(self):
+        world = generate_copying_world(CopyingConfig(seed=0))
+        exact = {item: set(values) for item, values in world.truths.items()}
+        assert world.precision_of(exact) == 1.0
+        assert world.recall_of(exact) == 1.0
+        assert world.precision_of({}) == 0.0
+        assert world.recall_of({}) == 0.0

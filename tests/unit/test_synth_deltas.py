@@ -1,0 +1,150 @@
+"""Unit tests for the synthetic delta-stream generator.
+
+The digests below were computed against the original
+``list.remove``-based retraction bookkeeping; they pin the generator's
+byte-exact output for a spread of seeds and configurations so the
+tombstone/swap-free rewrite (O(1) retractions instead of O(n)) is
+provably a pure performance change.  Any edit that reorders the
+retraction candidate list — and hence shifts every later ``rng.sample``
+draw — fails here before it can silently invalidate the incremental
+replay corpora.
+"""
+
+import hashlib
+import json
+
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+from repro.synth.deltas import (
+    DeltaStreamConfig,
+    generate_delta_stream,
+    scored_from_claims,
+)
+
+# name -> (world config, stream config, sha256 of the canonical stream)
+PINNED = {
+    "prop-3": (
+        ClaimWorldConfig(seed=3, n_items=10, n_sources=5),
+        DeltaStreamConfig(seed=3, parts=3),
+        "d20f7595cf66b607f3faf63c0506b1338e7a8773af8cb05a52fc16cb437837c4",
+    ),
+    "prop-11": (
+        ClaimWorldConfig(seed=11, n_items=10, n_sources=5),
+        DeltaStreamConfig(seed=11, parts=3),
+        "e881a11122945aca4774118176ee1f0ed5934693c55eb33423a144b9fd024667",
+    ),
+    "prop-29": (
+        ClaimWorldConfig(seed=29, n_items=10, n_sources=5),
+        DeltaStreamConfig(seed=29, parts=3),
+        "98aae2cbc554b8e9b10dbab48324aee88a458bfafdcb542597f0bdec0883e697",
+    ),
+    "heavy-23": (
+        ClaimWorldConfig(seed=23, n_items=30, n_sources=6),
+        DeltaStreamConfig(
+            seed=23, parts=8, base_fraction=0.3,
+            retract_fraction=0.5, readd_fraction=0.5,
+        ),
+        "186c3cbb30a15c0ac7692de5a03ffee237d912b462ed509b9e86e36de5fb8fbc",
+    ),
+    "churn-41": (
+        ClaimWorldConfig(seed=41, n_items=25, n_sources=5),
+        DeltaStreamConfig(
+            seed=41, parts=12, base_fraction=0.2,
+            retract_fraction=0.8, readd_fraction=0.25,
+        ),
+        "671e410f59a647edc455bd4186adc94542d42e55ee83760fdf91f0a5f70b9d84",
+    ),
+}
+
+
+def _key(scored):
+    triple = scored.triple
+    return [
+        triple.subject,
+        triple.predicate,
+        triple.obj.lexical,
+        scored.provenance.source_id,
+        scored.provenance.extractor_id,
+        round(scored.confidence, 12),
+    ]
+
+
+def stream_digest(base, deltas) -> str:
+    """Order-sensitive sha256 of a (base, deltas) decomposition."""
+    payload = {
+        "base": [_key(scored) for scored in base],
+        "deltas": [
+            {
+                "label": delta.label,
+                "added": [_key(scored) for scored in delta.added],
+                "retracted": [
+                    [triple.subject, triple.predicate, triple.obj.lexical]
+                    for triple in delta.retracted
+                ],
+            }
+            for delta in deltas
+        ],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class TestPinnedStreams:
+    def test_streams_match_pre_rewrite_bytes(self):
+        for name, (world_cfg, stream_cfg, expected) in PINNED.items():
+            world = generate_claim_world(world_cfg)
+            base, deltas = generate_delta_stream(
+                scored_from_claims(world.claims), stream_cfg
+            )
+            assert stream_digest(base, deltas) == expected, (
+                f"stream {name} diverged from the pinned pre-rewrite bytes"
+            )
+
+
+class TestInvariants:
+    def test_retractions_only_target_live_triples(self):
+        world = generate_claim_world(
+            ClaimWorldConfig(seed=23, n_items=30, n_sources=6)
+        )
+        base, deltas = generate_delta_stream(
+            scored_from_claims(world.claims),
+            DeltaStreamConfig(
+                seed=23, parts=8, base_fraction=0.3,
+                retract_fraction=0.5, readd_fraction=0.5,
+            ),
+        )
+        live = {scored.triple for scored in base}
+        for delta in deltas:
+            for triple in delta.retracted:
+                assert triple in live, "retracted a non-live triple"
+            live -= set(delta.retracted)
+            live |= {scored.triple for scored in delta.added}
+            assert live, "stream emptied the store"
+
+    def test_no_duplicate_retractions_within_a_delta(self):
+        world = generate_claim_world(
+            ClaimWorldConfig(seed=41, n_items=25, n_sources=5)
+        )
+        _base, deltas = generate_delta_stream(
+            scored_from_claims(world.claims),
+            DeltaStreamConfig(
+                seed=41, parts=12, base_fraction=0.2,
+                retract_fraction=0.8, readd_fraction=0.25,
+            ),
+        )
+        for delta in deltas:
+            assert len(delta.retracted) == len(set(delta.retracted))
+
+    def test_long_stream_smoke(self):
+        """A long, churny stream generates without quadratic blowup."""
+        world = generate_claim_world(
+            ClaimWorldConfig(seed=9, n_items=40, n_sources=8)
+        )
+        base, deltas = generate_delta_stream(
+            scored_from_claims(world.claims),
+            DeltaStreamConfig(
+                seed=9, parts=40, base_fraction=0.1,
+                retract_fraction=0.9, readd_fraction=0.5,
+            ),
+        )
+        assert len(deltas) == 40
+        assert base

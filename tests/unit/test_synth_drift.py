@@ -1,0 +1,101 @@
+"""Unit tests for the drifting-world scenario generator."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.synth.drift import DriftConfig, DriftingWorld
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_items": 0},
+            {"n_sources": 0},
+            {"epochs": 0},
+            {"coverage": 0.0},
+            {"coverage": 1.5},
+            {"value_change_rate": -0.1},
+            {"birth_rate": 2.0},
+            {"death_rate": -1.0},
+            {"rename_rate": 1.5},
+            {"false_pool": 0},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(GenerationError):
+            DriftConfig(**kwargs).validate()
+
+
+class TestGeneration:
+    def test_base_and_epochs_generated(self):
+        world = DriftingWorld(DriftConfig(seed=3, n_items=20, epochs=4))
+        assert world.base
+        assert len(world.epochs) == 4
+        assert world.current_epoch == 4
+        assert len(world.deltas()) == 4
+
+    def test_truth_snapshots_per_epoch(self):
+        world = DriftingWorld(DriftConfig(seed=3, n_items=20, epochs=3))
+        # One snapshot per epoch plus the base truth.
+        for epoch in range(4):
+            truth = world.truth_at(epoch)
+            assert truth
+            for values in truth.values():
+                assert len(values) == 1  # single-truth items
+        with pytest.raises(IndexError):
+            world.truth_at(5)
+
+    def test_epoch_labels_and_events(self):
+        world = DriftingWorld(DriftConfig(seed=5, n_items=20, epochs=3))
+        for index, epoch in enumerate(world.epochs, start=1):
+            assert epoch.delta.label == f"epoch-{index}"
+            assert epoch.truth.epoch == index
+            payload = epoch.truth.to_json_dict()
+            assert payload["epoch"] == index
+            assert payload["items"] == len(epoch.truth.truths)
+
+    def test_value_changes_bump_generation(self):
+        world = DriftingWorld(
+            DriftConfig(
+                seed=1, n_items=20, epochs=2, value_change_rate=1.0,
+                birth_rate=0.0, death_rate=0.0, rename_rate=0.0,
+            )
+        )
+        before = world.truth_at(0)
+        after = world.truth_at(1)
+        assert set(before) == set(after)  # no births/deaths/renames
+        changed = sum(
+            1 for item in before if before[item] != after[item]
+        )
+        assert changed == len(before)
+
+    def test_renames_change_the_predicate(self):
+        world = DriftingWorld(
+            DriftConfig(
+                seed=2, n_items=20, epochs=1, value_change_rate=0.0,
+                birth_rate=0.0, death_rate=0.0, rename_rate=0.5,
+            )
+        )
+        truth = world.epochs[0].truth
+        assert truth.renamed
+        for subject, old_predicate, new_predicate in truth.renamed:
+            assert old_predicate == "attr"
+            assert new_predicate == "attr~r1"
+
+    def test_deaths_never_empty_the_world(self):
+        world = DriftingWorld(
+            DriftConfig(
+                seed=4, n_items=3, epochs=6, death_rate=1.0,
+                birth_rate=0.0, value_change_rate=0.0, rename_rate=0.0,
+            )
+        )
+        for epoch in range(world.current_epoch + 1):
+            assert world.truth_at(epoch)
+
+    def test_observations_match_provenance(self):
+        world = DriftingWorld(DriftConfig(seed=6, n_items=10, epochs=1))
+        for scored in world.base:
+            assert scored.provenance.source_id in world.sources
+            assert scored.provenance.extractor_id == "drift"
+            assert scored.confidence == 1.0
