@@ -1,0 +1,239 @@
+"""Multi-tenant serving — fleet throughput, tail latency, isolation cost.
+
+Hosts fleets of 1, 4 and 16 static tenants on one
+:class:`~repro.serving.tenancy.TenantManager` and drains each fleet
+fair-share while timing every :meth:`TenantRuntime.pump` turn, then
+fires a burst of pinned-reader point lookups spread round-robin over
+the fleet.  Reported per fleet size:
+
+* **ingest** — aggregate delta-claims/sec through publish→apply→commit
+  and the p99 pump latency (one tenant's fair-share turn);
+* **reads** — aggregate lookups/sec against pinned readers and their
+  p99 latency;
+* **isolation overhead** — wall-time ratio of the N isolated stacks
+  against one *merged* world carrying the same total claim volume in a
+  single stack (what you would run if tenants were willing to share a
+  fence, a quarantine and a blast radius).
+
+Acceptance: every fleet drains completely (nothing halted, zero lag),
+throughput is positive everywhere, and p99 >= p50 per section.
+
+Results land in ``benchmarks/out/tenants.txt`` (table) and
+``benchmarks/out/BENCH_tenants.json``.  Run standalone with
+``python benchmarks/bench_tenants.py [--quick]``; ``--quick`` shrinks
+the per-tenant worlds for CI smoke runs.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.evalx.tables import render_table
+from repro.serving.tenancy import TenantManager
+from repro.synth.tenants import TenantMixConfig
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+FLEET_SIZES = (1, 4, 16)
+READS_PER_FLEET = 2000
+
+
+def _mix(n_tenants: int, quick: bool) -> TenantMixConfig:
+    return TenantMixConfig(
+        n_tenants=n_tenants,
+        seed=42,
+        kinds=("static",),
+        n_items=8 if quick else 24,
+        n_sources=4,
+        parts=2 if quick else 4,
+    )
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _drain_timed(manager: TenantManager) -> tuple[float, list[float]]:
+    """Fair-share drain with per-pump timing; returns (wall, latencies)."""
+    latencies: list[float] = []
+    started = time.perf_counter()
+    while True:
+        live = [
+            name
+            for name in manager.names()
+            if not manager.tenant(name).finished
+        ]
+        if not live:
+            break
+        for name in live:
+            pump_started = time.perf_counter()
+            manager.tenant(name).pump()
+            latencies.append(time.perf_counter() - pump_started)
+    return time.perf_counter() - started, latencies
+
+
+def _read_burst(manager: TenantManager) -> dict:
+    """Round-robin pinned-reader lookups across the fleet."""
+    targets = []
+    for name in manager.names():
+        reader = manager.tenant(name).server.reader()
+        item = sorted(reader.version.result.truths)[0]
+        targets.append((reader, item))
+    latencies: list[float] = []
+    started = time.perf_counter()
+    for index in range(READS_PER_FLEET):
+        reader, (subject, predicate) = targets[index % len(targets)]
+        read_started = time.perf_counter()
+        view = reader.lookup(subject, predicate)
+        latencies.append(time.perf_counter() - read_started)
+        assert view.values  # decided item: the read did real work
+    total = time.perf_counter() - started
+    return {
+        "reads": READS_PER_FLEET,
+        "reads_per_sec": round(READS_PER_FLEET / total, 1),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 4),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000, 4),
+    }
+
+
+def _merged_seconds(mix: TenantMixConfig, quick: bool) -> float:
+    """One stack carrying the whole fleet's claim volume."""
+    merged = TenantMixConfig(
+        n_tenants=1,
+        seed=mix.seed,
+        kinds=("static",),
+        n_items=mix.n_items * mix.n_tenants,
+        n_sources=mix.n_sources,
+        parts=mix.parts,
+    )
+    manager = TenantManager.from_mix(merged)
+    wall, _ = _drain_timed(manager)
+    return wall
+
+
+def run_fleet(n_tenants: int, quick: bool) -> dict:
+    mix = _mix(n_tenants, quick)
+    manager = TenantManager.from_mix(mix)
+    total_claims = sum(
+        len(delta.added) + len(delta.retracted)
+        for runtime in manager.tenants.values()
+        for delta in runtime.pending
+    )
+    wall, pump_latencies = _drain_timed(manager)
+    for name in manager.names():
+        runtime = manager.tenant(name)
+        assert runtime.finished and runtime.halted is None
+    merged = _merged_seconds(mix, quick)
+    return {
+        "tenants": n_tenants,
+        "delta_claims": total_claims,
+        "ingest": {
+            "wall_seconds": round(wall, 4),
+            "claims_per_sec": round(total_claims / wall, 1),
+            "pumps": len(pump_latencies),
+            "p50_ms": round(
+                _percentile(pump_latencies, 0.50) * 1000, 4
+            ),
+            "p99_ms": round(
+                _percentile(pump_latencies, 0.99) * 1000, 4
+            ),
+        },
+        "reads": _read_burst(manager),
+        "merged_wall_seconds": round(merged, 4),
+        "isolation_overhead": round(wall / merged, 3),
+    }
+
+
+def run_all(quick: bool) -> tuple[dict, str]:
+    fleets = [run_fleet(n, quick) for n in FLEET_SIZES]
+    document = {
+        "meta": {
+            "quick": quick,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "fleets": fleets,
+    }
+    rows = [
+        [
+            fleet["tenants"],
+            fleet["delta_claims"],
+            f"{fleet['ingest']['claims_per_sec']:.0f}",
+            f"{fleet['ingest']['p99_ms']:.2f}ms",
+            f"{fleet['reads']['reads_per_sec']:.0f}",
+            f"{fleet['reads']['p99_ms']:.3f}ms",
+            f"{fleet['isolation_overhead']:.2f}x",
+        ]
+        for fleet in fleets
+    ]
+    tables = render_table(
+        [
+            "tenants", "claims", "ingest/s", "pump p99",
+            "reads/s", "read p99", "vs merged",
+        ],
+        rows,
+        title="Multi-tenant serving (fair-share drain, pinned reads)",
+    )
+    return document, tables
+
+
+def emit(document: dict, tables: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "tenants.txt").write_text(tables + "\n")
+    (OUT_DIR / "BENCH_tenants.json").write_text(
+        json.dumps(document, indent=2) + "\n"
+    )
+
+
+def _check(document: dict) -> list[str]:
+    failures = []
+    fleets = document["fleets"]
+    if [fleet["tenants"] for fleet in fleets] != list(FLEET_SIZES):
+        failures.append("missing a fleet size")
+    for fleet in fleets:
+        label = f"fleet of {fleet['tenants']}"
+        if fleet["ingest"]["claims_per_sec"] <= 0:
+            failures.append(f"{label}: non-positive ingest throughput")
+        if fleet["reads"]["reads_per_sec"] <= 0:
+            failures.append(f"{label}: non-positive read throughput")
+        for section in ("ingest", "reads"):
+            if fleet[section]["p99_ms"] < fleet[section]["p50_ms"]:
+                failures.append(f"{label}: {section} p99 below p50")
+        if fleet["isolation_overhead"] <= 0:
+            failures.append(f"{label}: bad isolation overhead")
+    return failures
+
+
+def test_tenants_report():
+    document, tables = run_all(quick=False)
+    print()
+    print(tables)
+    emit(document, tables)
+    assert not _check(document)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink the per-tenant worlds (CI smoke mode)",
+    )
+    options = parser.parse_args(argv)
+    document, tables = run_all(quick=options.quick)
+    print(tables)
+    emit(document, tables)
+    print(f"\nwrote {OUT_DIR / 'BENCH_tenants.json'}")
+    failures = _check(document)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

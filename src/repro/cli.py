@@ -11,6 +11,8 @@ writing any code:
   stream and print per-epoch freshness metrics;
 * ``copying``   — fuse a source-copying world with correlations off
   vs on and print the copied-error suppression table;
+* ``tenants``   — ingest and serve a multi-tenant world mix on one
+  shared runtime and print the per-tenant eval table;
 * ``query``     — run a single-pattern query against an exported
   claims TSV file.
 """
@@ -223,6 +225,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's metric snapshot as JSON",
     )
 
+    tenants = sub.add_parser(
+        "tenants",
+        help="serve a multi-tenant world mix on one shared runtime",
+    )
+    tenants.add_argument("--tenants", type=int, default=3, dest="n_tenants")
+    tenants.add_argument("--seed", type=int, default=7)
+    tenants.add_argument(
+        "--kinds", default="static,drift,copying",
+        help="comma-separated tenant kinds the derived fleet cycles "
+        "through (static, drift, copying)",
+    )
+    tenants.add_argument("--items", type=int, default=24)
+    tenants.add_argument("--sources", type=int, default=4)
+    tenants.add_argument(
+        "--parts", type=int, default=3,
+        help="deltas per static/copying tenant",
+    )
+    tenants.add_argument(
+        "--epochs", type=int, default=3,
+        help="mutation epochs per drift tenant",
+    )
+    tenants.add_argument(
+        "--checkpoint-root", metavar="DIR",
+        help="checkpoint every tenant under DIR/<tenant>/",
+    )
+    tenants.add_argument(
+        "--json", metavar="FILE",
+        help="write the deterministic mix report as JSON",
+    )
+    tenants.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the run's metric snapshot as JSON",
+    )
+
     query = sub.add_parser(
         "query", help="query an exported claims TSV file"
     )
@@ -244,6 +280,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fusion-demo": _run_fusion_demo,
         "drift": _run_drift,
         "copying": _run_copying,
+        "tenants": _run_tenants,
         "query": _run_query,
     }
     return handlers[args.command](args)
@@ -605,6 +642,46 @@ def _run_copying(args) -> int:
         f"correlation-aware suppressed {aware.suppressed}/"
         f"{report.copied_errors} copied errors vs {blind.suppressed} "
         f"correlation-blind, in {report.wall_seconds:.2f}s"
+    )
+    if args.json:
+        _dump_json(args.json, report.to_json_dict())
+        print(f"report written to {args.json}")
+    if args.metrics_out:
+        _dump_json(
+            args.metrics_out, pipeline.metrics.snapshot().to_json_dict()
+        )
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _run_tenants(args) -> int:
+    from repro.core.pipeline import (
+        KnowledgeBaseConstructionPipeline,
+        PipelineConfig,
+    )
+    from repro.synth.tenants import TenantMixConfig
+
+    pipeline = KnowledgeBaseConstructionPipeline(
+        PipelineConfig(checkpoint_dir=args.checkpoint_root)
+    )
+    report = pipeline.run_tenants(
+        TenantMixConfig(
+            n_tenants=args.n_tenants,
+            seed=args.seed,
+            kinds=tuple(
+                kind for kind in args.kinds.split(",") if kind
+            ),
+            n_items=args.items,
+            n_sources=args.sources,
+            parts=args.parts,
+            epochs=args.epochs,
+        )
+    )
+    print(report.table())
+    halted = [row.name for row in report.rows if row.halted]
+    print(
+        f"{report.tenants} tenants drained in {report.rounds} rounds "
+        f"({len(halted)} halted) in {report.wall_seconds:.2f}s"
     )
     if args.json:
         _dump_json(args.json, report.to_json_dict())

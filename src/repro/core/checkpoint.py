@@ -103,11 +103,15 @@ class CheckpointStore:
     writing process's pid plus a module-wide serial — concurrent runs
     (or two stores in one process) can never clobber each other's
     in-flight temp file — and (b) both :meth:`save` and :meth:`clear`
-    sweep ``*.tmp`` siblings left by earlier crashes.  The save-path
-    sweep is age-gated (older than :data:`_STALE_TEMP_SECONDS` only) so
-    it cannot delete a concurrent live writer's in-flight temp out from
-    under its ``os.replace``; ``clear`` sweeps unconditionally.  Both
-    are best-effort: a concurrently-vanishing file is not an error.
+    sweep ``*.tmp`` siblings left by earlier crashes.  Sweeps only
+    treat *this process's own* temps (pid embedded in the name) as
+    fair game unconditionally; anything else — another pid's, the
+    legacy pid-less naming — is deleted only once it looks abandoned
+    (older than :data:`_STALE_TEMP_SECONDS`), because when tenants
+    share one checkpoint root a sibling store may be mid-``save`` and
+    deleting its in-flight temp out from under its ``os.replace``
+    loses that checkpoint.  Both sweeps are best-effort: a
+    concurrently-vanishing file is not an error.
 
     ``metrics`` (optional) is a :class:`repro.obs.MetricsRegistry`;
     when set, the store counts ``checkpoint_saves_total`` /
@@ -156,17 +160,24 @@ class CheckpointStore:
         ``save`` path); without it every checkpoint temp in the
         directory is (the ``clear`` path).  With ``max_age`` set, temps
         modified within the last ``max_age`` seconds are skipped — they
-        may belong to a live concurrent writer.  Covers both the
-        current ``<stage>.ckpt.<pid>.<n>.tmp`` naming and the legacy
-        ``<stage>.ckpt.tmp``.
+        may belong to a live concurrent writer.  Without ``max_age``
+        only temps this process wrote (its pid in the name) go
+        unconditionally; foreign temps — another pid's, or the legacy
+        pid-less ``<stage>.ckpt.tmp`` naming — still get the
+        :data:`_STALE_TEMP_SECONDS` age gate, since a store sharing
+        the directory may be mid-``save``.
         """
         pattern = f"{stage}.ckpt*.tmp" if stage else "*.ckpt*.tmp"
+        own_marker = f".ckpt.{os.getpid()}."
         removed = 0
         for orphan in self.directory.glob(pattern):
             try:
-                if max_age is not None:
+                age_gate = max_age
+                if age_gate is None and own_marker not in orphan.name:
+                    age_gate = _STALE_TEMP_SECONDS
+                if age_gate is not None:
                     age = time.time() - orphan.stat().st_mtime
-                    if age < max_age:
+                    if age < age_gate:
                         continue  # possibly a live writer's temp
                 orphan.unlink()
                 removed += 1

@@ -117,6 +117,7 @@ from repro.fusion.knowledge_fusion import KnowledgeFusion
 from repro.mapreduce.engine import RetryPolicy
 from repro.synth.copying import CopyingConfig, generate_copying_world
 from repro.synth.drift import DriftConfig, DriftingWorld
+from repro.synth.tenants import TenantMixConfig
 from repro.synth.kb_snapshots import KbPairConfig, build_kb_pair
 from repro.synth.querylog import QueryLogConfig, QueryRecord, generate_query_log
 from repro.synth.websites import WebPage, WebsiteConfig, generate_websites
@@ -237,6 +238,10 @@ class PipelineConfig:
     drift: DriftConfig | None = None
     # Default copying-world scenario for run_copying().
     copying: CopyingConfig | None = None
+    # Default multi-tenant mix for run_tenants() (None runs the
+    # TenantMixConfig defaults); run_tenants(config) overrides per
+    # call.  Tenant checkpoints land under checkpoint_dir/<tenant>.
+    tenants: TenantMixConfig | None = None
 
 
 @dataclass(slots=True)
@@ -1700,6 +1705,38 @@ class KnowledgeBaseConstructionPipeline:
                     leaked=leaked,
                 )
             )
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def run_tenants(self, config: TenantMixConfig | None = None):
+        """Ingest and serve a multi-tenant mix on one shared runtime.
+
+        Expands the mix into per-tenant workloads
+        (:func:`~repro.synth.tenants.build_tenant_workload`), hosts
+        one isolated serving stack per tenant behind a
+        :class:`~repro.serving.tenancy.TenantManager` — per-tenant
+        metrics labels on this pipeline's registry, checkpoints under
+        ``checkpoint_dir/<tenant>`` when a checkpoint dir is set —
+        drains the fleet fair-share, and scores every tenant against
+        its own ground truth.  The report's ``to_json_dict`` is
+        deterministic: same mix config, same bytes.
+        """
+        from repro.serving.tenancy import TenantManager
+
+        cfg = config or self.config.tenants or TenantMixConfig()
+        started = time.perf_counter()
+        self.metrics.counter("tenant_runs_total").inc()
+        manager = TenantManager.from_mix(
+            cfg,
+            metrics=self.metrics,
+            capacity=self.config.serving_log_capacity,
+            retry=self.config.retry,
+            checkpoint_root=self.config.checkpoint_dir,
+        )
+        rounds = manager.drain_fair()
+        if self.config.checkpoint_dir is not None:
+            manager.checkpoint_all()
+        report = manager.eval_rows(rounds=rounds)
         report.wall_seconds = time.perf_counter() - started
         return report
 

@@ -106,8 +106,32 @@ class Quarantine:
         themselves are handed back for re-enqueueing and a second
         drain returns nothing.
         """
-        entries = self.held.pop(source, [])
-        return [record for _reason, record in entries]
+        return [record for _reason, record in self.drain_entries(source)]
+
+    def drain_entries(self, source: str) -> list[tuple[str, object]]:
+        """Like :meth:`drain` but keeps the ``(reason, record)`` pairs.
+
+        Callers that may have to :meth:`repark` a partially processed
+        drain need the reasons back intact.
+        """
+        return self.held.pop(source, [])
+
+    def repark(
+        self, source: str, entries: list[tuple[str, object]]
+    ) -> None:
+        """Return drained-but-unprocessed entries to the hold.
+
+        The inverse of :meth:`drain_entries` for the tail of a drain
+        that could not complete (e.g. a re-publish shed by
+        backpressure).  Entries go back *ahead of* anything diverted
+        meanwhile, preserving overall diversion order.  Counts and
+        totals are untouched: these records were accounted for when
+        first diverted, and re-parking is not a new failure.
+        """
+        if not entries:
+            return
+        hold = self.held.setdefault(source, [])
+        hold[:0] = entries
 
     def merge(self, other: "Quarantine") -> None:
         """Fold a stage-local quarantine into this one.

@@ -17,22 +17,29 @@ from repro.obs.metrics import (
     DEFAULT_COUNT_BUCKETS,
     DEFAULT_SECONDS_BUCKETS,
     HistogramSnapshot,
+    LabeledRegistry,
     MetricsRegistry,
     MetricsSnapshot,
     is_timing_metric,
 )
-from repro.obs.schema import validate_metrics, validate_trace
+from repro.obs.schema import (
+    validate_metrics,
+    validate_tenant_metrics,
+    validate_trace,
+)
 from repro.obs.trace import Span, SpanTracer
 
 __all__ = [
     "DEFAULT_COUNT_BUCKETS",
     "DEFAULT_SECONDS_BUCKETS",
     "HistogramSnapshot",
+    "LabeledRegistry",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Span",
     "SpanTracer",
     "is_timing_metric",
     "validate_metrics",
+    "validate_tenant_metrics",
     "validate_trace",
 ]

@@ -43,9 +43,11 @@ __all__ = [
     "DEFAULT_COUNT_BUCKETS",
     "DEFAULT_SECONDS_BUCKETS",
     "HistogramSnapshot",
+    "LabeledRegistry",
     "MetricsRegistry",
     "MetricsSnapshot",
     "is_timing_metric",
+    "parse_key",
 ]
 
 # Fixed default bucket upper bounds.  Counts cover the sizes seen in
@@ -78,6 +80,24 @@ def base_name(key: str) -> str:
     """The metric name of a rendered key, labels stripped."""
     brace = key.find("{")
     return key if brace < 0 else key[:brace]
+
+
+def parse_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`metric_key`: ``name{k=v,...}`` → name + labels.
+
+    Only safe for labels whose values contain no ``,`` or ``=`` —
+    which this repo's label values (tenant names, stage names, reason
+    slugs) satisfy by construction.
+    """
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    body = key[brace + 1 : -1]
+    if not body:
+        return key[:brace], {}
+    return key[:brace], dict(
+        part.split("=", 1) for part in body.split(",")
+    )
 
 
 def is_timing_metric(key: str) -> bool:
@@ -221,6 +241,43 @@ class MetricsSnapshot:
             },
         }
 
+    def label_subset(self, **labels) -> "MetricsSnapshot":
+        """The entries carrying every given ``k=v`` label pair.
+
+        ``snapshot.label_subset(tenant="t00")`` pulls one tenant's
+        series out of a shared registry — the isolation tests compare
+        a tenant's subset against its solo run's snapshot.  Values are
+        compared after ``str()`` (labels render stringly).
+        """
+        wanted = {key: str(value) for key, value in labels.items()}
+
+        def keep(key: str) -> bool:
+            _, have = parse_key(key)
+            return all(have.get(k) == v for k, v in wanted.items())
+
+        return MetricsSnapshot(
+            counters={
+                key: value
+                for key, value in self.counters.items()
+                if keep(key)
+            },
+            gauges={
+                key: value
+                for key, value in self.gauges.items()
+                if keep(key)
+            },
+            histograms={
+                key: HistogramSnapshot(
+                    bounds=histogram.bounds,
+                    counts=list(histogram.counts),
+                    count=histogram.count,
+                    sum=histogram.sum,
+                )
+                for key, histogram in self.histograms.items()
+                if keep(key)
+            },
+        )
+
     def deterministic_subset(self) -> dict:
         """The count-type metrics only (``*_seconds`` excluded).
 
@@ -305,6 +362,17 @@ class MetricsRegistry:
             )
         return _Histogram(existing)
 
+    def labeled(self, **labels) -> "LabeledRegistry":
+        """A write view stamping ``labels`` onto every series.
+
+        The multi-tenant manager hands each tenant's stack
+        ``registry.labeled(tenant=name)`` so every ``stream_*`` /
+        ``serving_*`` series the stack emits lands in the shared
+        registry under its tenant label — the components never learn
+        about tenancy.
+        """
+        return LabeledRegistry(self, labels)
+
     # -- snapshots -----------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:
         """A picklable plain-data copy of the current state."""
@@ -347,3 +415,55 @@ class MetricsRegistry:
                 )
             else:
                 mine.merge(histogram)
+
+
+class LabeledRegistry:
+    """Registry view that merges fixed labels into every call.
+
+    Quacks like :class:`MetricsRegistry` for the write side
+    (``counter``/``gauge``/``histogram``) so components accepting a
+    ``metrics=`` argument work unchanged behind it.  The fixed labels
+    win over call-site labels of the same name — a component must not
+    be able to escape (or spoof) the tenant its view was scoped to.
+    Views nest: ``registry.labeled(tenant="a").labeled(shard="0")``
+    stamps both.
+    """
+
+    __slots__ = ("_registry", "_labels")
+
+    def __init__(
+        self, registry: MetricsRegistry, labels: dict[str, object]
+    ) -> None:
+        self._registry = registry
+        self._labels = dict(labels)
+
+    @property
+    def labels(self) -> dict[str, object]:
+        return dict(self._labels)
+
+    def counter(self, name: str, **labels) -> _Counter:
+        return self._registry.counter(name, **{**labels, **self._labels})
+
+    def gauge(self, name: str, **labels) -> _Gauge:
+        return self._registry.gauge(name, **{**labels, **self._labels})
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] | None = None,
+        **labels,
+    ) -> _Histogram:
+        return self._registry.histogram(
+            name, buckets=buckets, **{**labels, **self._labels}
+        )
+
+    def labeled(self, **labels) -> "LabeledRegistry":
+        # Outer (existing) labels win, matching the per-call merge.
+        return LabeledRegistry(
+            self._registry, {**labels, **self._labels}
+        )
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The *underlying* registry's snapshot (views share state)."""
+        return self._registry.snapshot()

@@ -43,9 +43,18 @@ import numbers
 import sys
 from collections.abc import Sequence
 
-__all__ = ["validate_metrics", "validate_trace", "main"]
+__all__ = [
+    "validate_metrics",
+    "validate_tenant_metrics",
+    "validate_trace",
+    "main",
+]
 
 SPAN_STATUSES = ("ok", "failed")
+
+# Metric families that are per-tenant by construction: in a
+# multi-tenant snapshot each such series must say whose it is.
+TENANT_SCOPED_PREFIXES = ("stream_", "serving_")
 
 
 def _is_number(value: object) -> bool:
@@ -118,6 +127,75 @@ def validate_metrics(payload: object) -> list[str]:
     return errors
 
 
+def validate_tenant_metrics(
+    payload: object, tenants: Sequence[str]
+) -> list[str]:
+    """Per-tenant label coverage problems in a metrics document.
+
+    For a snapshot produced by a multi-tenant run, every
+    ``stream_*`` / ``serving_*`` series must carry a ``tenant`` label
+    naming one of ``tenants`` — an unlabeled series means some
+    tenant's traffic leaked into a shared series, an unknown name
+    means a label was minted outside the manager.  Additionally every
+    tenant must have a ``serving_version`` gauge: a tenant with no
+    series at all never reported, which is its own kind of silent.
+
+    Structural problems (:func:`validate_metrics`) are not re-checked
+    here; run both.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return [
+            f"tenant-metrics: expected an object, "
+            f"got {type(payload).__name__}"
+        ]
+    known = set(tenants)
+    # Local parse of ``name{k=v,...}`` keys — mirrors
+    # repro.obs.metrics.parse_key, kept inline so the validator stays
+    # importable against raw JSON with no registry in sight.
+    def split(key: str) -> tuple[str, dict[str, str]]:
+        brace = key.find("{")
+        if brace < 0:
+            return key, {}
+        body = key[brace + 1 : -1]
+        if not body:
+            return key[:brace], {}
+        return key[:brace], dict(
+            part.split("=", 1) for part in body.split(",") if "=" in part
+        )
+
+    for kind in ("counters", "gauges", "histograms"):
+        section = payload.get(kind)
+        if not isinstance(section, dict):
+            continue  # validate_metrics reports the structural problem
+        for key in section:
+            if not isinstance(key, str):
+                continue
+            name, labels = split(key)
+            if not name.startswith(TENANT_SCOPED_PREFIXES):
+                continue
+            tenant = labels.get("tenant")
+            if tenant is None:
+                errors.append(
+                    f"{kind}[{key!r}]: tenant-scoped series without a "
+                    "tenant label"
+                )
+            elif tenant not in known:
+                errors.append(
+                    f"{kind}[{key!r}]: unknown tenant {tenant!r}"
+                )
+    gauges = payload.get("gauges")
+    if isinstance(gauges, dict):
+        for tenant in sorted(known):
+            probe = f"serving_version{{tenant={tenant}}}"
+            if probe not in gauges:
+                errors.append(
+                    f"gauges: tenant {tenant!r} reported no "
+                    "serving_version gauge"
+                )
+    return errors
+
+
 def _validate_span(span: object, path: str, errors: list[str]) -> None:
     if not isinstance(span, dict):
         errors.append(f"{path}: expected an object")
@@ -174,12 +252,29 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--metrics", metavar="FILE", help="metrics JSON path")
     parser.add_argument("--trace", metavar="FILE", help="trace JSON path")
+    parser.add_argument(
+        "--tenants",
+        metavar="NAMES",
+        help=(
+            "comma-separated tenant names; additionally checks the "
+            "--metrics document's per-tenant label coverage"
+        ),
+    )
     args = parser.parse_args(argv)
     if not args.metrics and not args.trace:
         parser.error("nothing to validate: pass --metrics and/or --trace")
+    if args.tenants and not args.metrics:
+        parser.error("--tenants needs --metrics")
     problems: list[str] = []
     if args.metrics:
         problems += _validate_file(args.metrics, validate_metrics, "metrics")
+        if args.tenants:
+            names = [n for n in args.tenants.split(",") if n]
+            problems += _validate_file(
+                args.metrics,
+                lambda payload: validate_tenant_metrics(payload, names),
+                "tenant-metrics",
+            )
     if args.trace:
         problems += _validate_file(args.trace, validate_trace, "trace")
     for problem in problems:

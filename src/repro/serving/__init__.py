@@ -11,6 +11,13 @@ with a dedup fence for exactly-once application.  See
 from repro.serving.query import FactView, KBReader
 from repro.serving.server import KBServer, ServingStatus, StepOutcome
 from repro.serving.stream import EventLog, StreamEvent, delta_event_id
+from repro.serving.tenancy import (
+    TenantEvalRow,
+    TenantManager,
+    TenantMixReport,
+    TenantRuntime,
+    tenant_fingerprint,
+)
 from repro.serving.version import KBVersion, VersionedKB
 
 __all__ = [
@@ -22,6 +29,11 @@ __all__ = [
     "ServingStatus",
     "StepOutcome",
     "StreamEvent",
+    "TenantEvalRow",
+    "TenantManager",
+    "TenantMixReport",
+    "TenantRuntime",
     "VersionedKB",
     "delta_event_id",
+    "tenant_fingerprint",
 ]

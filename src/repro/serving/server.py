@@ -49,7 +49,7 @@ import time
 from dataclasses import dataclass
 
 from repro.core.quarantine import Quarantine
-from repro.errors import ServingError
+from repro.errors import BackpressureError, ServingError
 from repro.incremental.delta import ClaimDelta
 from repro.mapreduce.engine import RetryPolicy
 from repro.serving.query import KBReader
@@ -163,6 +163,13 @@ class KBServer:
         )
         self._degraded = False
         self._poisoned = 0
+        # Lifetime count of events fenced (applied + poisoned).  The
+        # fence inside the committed version ages with log compaction,
+        # so it no longer doubles as this statistic.
+        self._fenced_total = 0
+        # Log base the fence was last aged against; re-age lazily only
+        # when compaction has advanced it.
+        self._fence_base = self.log.base
         self.log.register(group, offset=0)
         self._publish_gauges()
 
@@ -188,7 +195,7 @@ class KBServer:
             committed_offset=self.log.committed(self.group),
             head_offset=self.log.head,
             lag_events=self.log.lag(self.group),
-            applied_events=len(version.applied),
+            applied_events=self._fenced_total,
             degraded=self._degraded,
             poisoned=self._poisoned,
             quarantined_held=len(
@@ -231,6 +238,7 @@ class KBServer:
         injected += slow
 
         injected += self._fault("stream:commit", event.offset)
+        fence = self._aged_fence(version) | {event.event_id}
         if applied:
             successor = KBVersion(
                 version_id=version.version_id + 1,
@@ -238,7 +246,7 @@ class KBServer:
                 store=self.engine.store,
                 result=self.engine.result,
                 offset=event.offset + 1,
-                applied=version.applied | {event.event_id},
+                applied=fence,
                 label=event.delta.label,
             )
             self._degraded = False
@@ -258,12 +266,13 @@ class KBServer:
                 store=version.store,
                 result=version.result,
                 offset=event.offset + 1,
-                applied=version.applied | {event.event_id},
+                applied=fence,
                 label=version.label,
             )
             self._degraded = True
             self._poisoned += 1
         self.versions.commit(successor)
+        self._fenced_total += 1
         injected += self._fault("stream:post-commit", event.offset)
         self.log.commit_offset(self.group, event.offset + 1)
 
@@ -302,22 +311,56 @@ class KBServer:
         Drains the dead-letter hold — a second call republishes
         nothing — and publishes each delta under a derived event id
         (the original id is fenced, so reusing it would be skipped).
+
+        A publish the log sheds (:class:`BackpressureError`) must not
+        lose anything: the failed delta and every not-yet-published
+        one behind it are re-parked in the hold, in order, before the
+        error propagates (counted in ``stream_requeue_deferred_total``)
+        — the next call picks them up where this one stopped.
         """
         events: list[StreamEvent] = []
-        for item in self.quarantine.drain(STREAM_SOURCE):
+        entries = self.quarantine.drain_entries(STREAM_SOURCE)
+        for position, (reason, item) in enumerate(entries):
             if not isinstance(item, StreamEvent):
+                self.quarantine.repark(STREAM_SOURCE, entries[position:])
                 raise ServingError(
                     f"unexpected dead-letter item: {type(item).__name__}"
                 )
-            events.append(
-                self.log.append(
+            try:
+                event = self.log.append(
                     item.delta, event_id=f"{item.event_id}#requeue"
                 )
-            )
+            except BackpressureError:
+                deferred = entries[position:]
+                self.quarantine.repark(STREAM_SOURCE, deferred)
+                self._count("stream_requeue_deferred_total", len(deferred))
+                raise
+            events.append(event)
             self._count("stream_requeued_total")
         return events
 
     # -- internals -----------------------------------------------------
+    def _aged_fence(self, version: KBVersion) -> frozenset[str]:
+        """The committed fence minus ids the log can never deliver again.
+
+        An id only earns its place in the fence while the log retains
+        an occurrence of it (a publisher duplicate or crash redelivery
+        still to come); once compaction drops the last occurrence the
+        entry is dead weight, and without aging a long-lived server's
+        fence grows one id per event forever.  Aging is lazy: steady
+        state pays one integer compare, and the full filter runs only
+        when compaction has advanced the log base since the last check.
+        """
+        base = self.log.base
+        if base == self._fence_base:
+            return version.applied
+        self._fence_base = base
+        return frozenset(
+            event_id
+            for event_id in version.applied
+            if self.log.has_id(event_id)
+        )
+
     def _apply_with_retry(
         self, event: StreamEvent
     ) -> tuple[bool, int, str | None, float]:

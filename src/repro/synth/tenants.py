@@ -1,0 +1,233 @@
+"""Multi-tenant workload mixes: many seeded worlds, side by side.
+
+The paper's framework is operated as *shared infrastructure* — one
+runtime ingesting many heterogeneous sources for many consumers.  A
+tenant here is one self-contained world: its own seeded generator, its
+own base corpus and delta stream, its own ground truth.  This module
+only builds the *data* side of tenancy; the serving side (isolated
+per-tenant stacks behind one manager) lives in
+:mod:`repro.serving.tenancy`.
+
+Three tenant kinds reuse the existing generators unchanged:
+
+* ``"static"`` — a :func:`~repro.synth.claims.generate_claim_world`
+  corpus split into (base, deltas) by
+  :func:`~repro.synth.deltas.generate_delta_stream`;
+* ``"drift"`` — a :class:`~repro.synth.drift.DriftingWorld`, one delta
+  per mutation epoch, truth moving underneath;
+* ``"copying"`` — a :func:`~repro.synth.copying.generate_copying_world`
+  corpus (copier sources replicating a victim's errors), split like
+  the static kind.
+
+Everything is a pure function of the spec: two builds of the same
+:class:`TenantSpec` are byte-identical, and a tenant built inside a
+mix is the same object graph as the tenant built alone — the
+foundation of the cross-tenant isolation contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GenerationError
+from repro.incremental.delta import ClaimDelta
+from repro.rdf.triple import ScoredTriple
+from repro.synth.claims import ClaimWorldConfig, generate_claim_world
+from repro.synth.copying import (
+    CopyingConfig,
+    CopyingWorld,
+    generate_copying_world,
+)
+from repro.synth.deltas import (
+    DeltaStreamConfig,
+    generate_delta_stream,
+    scored_from_claims,
+)
+from repro.synth.drift import DriftConfig, DriftingWorld
+
+__all__ = [
+    "TENANT_KINDS",
+    "TenantMixConfig",
+    "TenantSpec",
+    "TenantWorkload",
+    "build_tenant_workload",
+]
+
+TENANT_KINDS = ("static", "drift", "copying")
+
+
+@dataclass(slots=True)
+class TenantSpec:
+    """One tenant's world, fully determined by value fields."""
+
+    name: str
+    kind: str = "static"
+    seed: int = 0
+    n_items: int = 24
+    n_sources: int = 4
+    # static/copying: how many deltas the non-base remainder splits
+    # into; drift: ignored (one delta per epoch).
+    parts: int = 3
+    # drift only: mutation epochs after the base epoch.
+    epochs: int = 3
+
+    def validate(self) -> None:
+        if not self.name:
+            raise GenerationError("tenant name must be non-empty")
+        if any(ch in self.name for ch in "{},= \t\n"):
+            # Names become metric label values and checkpoint
+            # subdirectory names; keep them trivially safe for both.
+            raise GenerationError(
+                f"tenant name {self.name!r} contains reserved characters"
+            )
+        if self.kind not in TENANT_KINDS:
+            raise GenerationError(
+                f"unknown tenant kind {self.kind!r}; "
+                f"expected one of {TENANT_KINDS}"
+            )
+        if self.n_items < 1 or self.n_sources < 1:
+            raise GenerationError("items and sources must be >= 1")
+        if self.parts < 1:
+            raise GenerationError("parts must be >= 1")
+        if self.epochs < 1:
+            raise GenerationError("epochs must be >= 1")
+
+
+@dataclass(slots=True)
+class TenantWorkload:
+    """One tenant's generated data: base corpus, delta stream, truth.
+
+    ``truth`` is the *final* ground truth (post-drift for drifting
+    tenants), what the tenant's fully-drained KB is scored against.
+    The kind-specific world objects ride along for the richer evals
+    only they support (freshness lag, copied-error suppression).
+    """
+
+    spec: TenantSpec
+    base: list[ScoredTriple] = field(default_factory=list)
+    deltas: list[ClaimDelta] = field(default_factory=list)
+    truth: dict = field(default_factory=dict)
+    drift_world: DriftingWorld | None = None
+    copying_world: CopyingWorld | None = None
+
+
+def build_tenant_workload(spec: TenantSpec) -> TenantWorkload:
+    """Deterministically expand one spec into its workload."""
+    spec.validate()
+    if spec.kind == "drift":
+        world = DriftingWorld(
+            DriftConfig(
+                seed=spec.seed,
+                n_items=spec.n_items,
+                n_sources=spec.n_sources,
+                epochs=spec.epochs,
+            )
+        )
+        return TenantWorkload(
+            spec=spec,
+            base=list(world.base),
+            deltas=world.deltas(),
+            truth=world.truth_at(world.current_epoch),
+            drift_world=world,
+        )
+    if spec.kind == "copying":
+        world = generate_copying_world(
+            CopyingConfig(
+                seed=spec.seed,
+                n_items=spec.n_items,
+                n_independent=spec.n_sources,
+                n_copiers=2,
+                lag=1,
+            )
+        )
+        scored = scored_from_claims(world.claims)
+        base, deltas = generate_delta_stream(
+            scored, DeltaStreamConfig(seed=spec.seed, parts=spec.parts)
+        )
+        return TenantWorkload(
+            spec=spec,
+            base=base,
+            deltas=deltas,
+            truth=world.truths,
+            copying_world=world,
+        )
+    world = generate_claim_world(
+        ClaimWorldConfig(
+            seed=spec.seed,
+            n_items=spec.n_items,
+            n_sources=spec.n_sources,
+        )
+    )
+    scored = scored_from_claims(world.claims)
+    base, deltas = generate_delta_stream(
+        scored, DeltaStreamConfig(seed=spec.seed, parts=spec.parts)
+    )
+    return TenantWorkload(
+        spec=spec,
+        base=base,
+        deltas=deltas,
+        truth=world.truths,
+    )
+
+
+@dataclass(slots=True)
+class TenantMixConfig:
+    """A whole fleet of tenant specs, derived or explicit.
+
+    With ``tenants`` set those specs are used verbatim.  Otherwise
+    ``n_tenants`` specs are derived: names ``tenant00..``, kinds
+    cycling through ``kinds``, seeds spread as ``seed + 101 * index``
+    so no two derived tenants share a world even when they share a
+    kind.  Derivation is pure — the same config always yields the
+    same fleet.
+    """
+
+    n_tenants: int = 3
+    seed: int = 0
+    kinds: tuple[str, ...] = TENANT_KINDS
+    n_items: int = 24
+    n_sources: int = 4
+    parts: int = 3
+    epochs: int = 3
+    tenants: list[TenantSpec] | None = None
+
+    def validate(self) -> None:
+        if self.tenants is not None:
+            if not self.tenants:
+                raise GenerationError("explicit tenant list is empty")
+            names = [spec.name for spec in self.tenants]
+            if len(set(names)) != len(names):
+                raise GenerationError(
+                    f"duplicate tenant names in mix: {sorted(names)}"
+                )
+            for spec in self.tenants:
+                spec.validate()
+            return
+        if self.n_tenants < 1:
+            raise GenerationError("n_tenants must be >= 1")
+        if not self.kinds:
+            raise GenerationError("kinds must be non-empty")
+        for kind in self.kinds:
+            if kind not in TENANT_KINDS:
+                raise GenerationError(
+                    f"unknown tenant kind {kind!r}; "
+                    f"expected one of {TENANT_KINDS}"
+                )
+
+    def specs(self) -> list[TenantSpec]:
+        """The fleet, validated, in serving order."""
+        self.validate()
+        if self.tenants is not None:
+            return list(self.tenants)
+        return [
+            TenantSpec(
+                name=f"tenant{index:02d}",
+                kind=self.kinds[index % len(self.kinds)],
+                seed=self.seed + 101 * index,
+                n_items=self.n_items,
+                n_sources=self.n_sources,
+                parts=self.parts,
+                epochs=self.epochs,
+            )
+            for index in range(self.n_tenants)
+        ]

@@ -353,3 +353,115 @@ class TestDeterminism:
             )
         assert runs[0] == runs[1]
         assert runs[0][1] == REFERENCE
+
+
+class TestRequeueBackpressure:
+    def test_requeue_under_backpressure_loses_no_delta(self):
+        # Regression: requeue_quarantined() used to pop the dead-letter
+        # hold *before* publishing; a mid-loop BackpressureError
+        # silently lost the failed delta and everything behind it.
+        metrics = MetricsRegistry()
+        server, deltas = make_server(capacity=2, metrics=metrics)
+        server.fault_plan = FaultPlan(seed=5).crash(
+            "stream:apply", index=0, attempts=0
+        )
+        server.publish(deltas[0])
+        server.publish(deltas[1])
+        assert server.step().action == "poisoned"  # delta 0 parked
+        server.fault_plan = None
+
+        server.publish(deltas[2])  # backlog == capacity: log is full
+        with pytest.raises(BackpressureError):
+            server.requeue_quarantined()
+
+        # The unpublished delta is back in the hold, not vanished.
+        assert server.status().quarantined_held == 1
+        assert (
+            metrics.counter("stream_requeue_deferred_total").value == 1
+        )
+        assert metrics.counter("stream_requeued_total").value == 0
+
+        server.drain()  # consumer catches up, relieving backpressure
+        requeued = server.requeue_quarantined()
+        assert len(requeued) == 1
+        assert requeued[0].delta.label == deltas[0].label
+        assert [o.action for o in server.drain()] == ["applied"]
+        status = server.status()
+        assert status.quarantined_held == 0
+        assert status.lag_events == 0
+
+    def test_deferred_tail_preserves_order(self):
+        # Two parked deltas, room for neither: both must survive a
+        # shed requeue in their original order.
+        server, deltas = make_server(capacity=2)
+        server.fault_plan = (
+            FaultPlan(seed=5)
+            .crash("stream:apply", index=0, attempts=0)
+            .crash("stream:apply", index=1, attempts=0)
+        )
+        server.publish(deltas[0])
+        server.publish(deltas[1])
+        assert [o.action for o in server.drain()] == [
+            "poisoned", "poisoned",
+        ]
+        server.fault_plan = None
+
+        server.publish(deltas[2])
+        server.publish(deltas[0])  # duplicate content: fills the log
+        with pytest.raises(BackpressureError):
+            server.requeue_quarantined()
+        held = server.quarantine.held_items("stream")
+        assert [event.offset for _s, _r, event in held] == [0, 1]
+
+
+class TestCompaction:
+    def test_drain_bytes_identical_before_and_after_compaction(self):
+        # capacity=1 forces a compaction after every commit; the
+        # served verdicts must be byte-identical to the uncompacted
+        # reference run.
+        for capacity in (1, 2, 1024):
+            server, deltas = make_server(capacity=capacity)
+            for delta in deltas:
+                server.publish(delta)
+                outcomes = server.drain()
+                assert all(o.action == "applied" for o in outcomes)
+            if capacity < len(deltas):
+                assert server.log.base > 0  # compaction really ran
+            assert server.versions.current.canonical_bytes() == REFERENCE
+            assert server.status().applied_events == len(deltas)
+
+    def test_fence_ages_to_ids_the_log_still_retains(self):
+        # Without aging the fence grows one id per event forever; with
+        # it, ids whose every occurrence compacted away are dropped —
+        # they can never be delivered again.
+        server, deltas = make_server(capacity=1)
+        for delta in deltas:
+            server.publish(delta)
+            server.drain()
+        current = server.versions.current
+        assert current.version_id == len(deltas)
+        # Each step ages everything the previous compactions dropped,
+        # then fences the event it just applied — at capacity=1 that
+        # leaves exactly one id, not one per event forever.  (Aging is
+        # lazy: the newest id survives until the *next* step even
+        # though its own commit already compacted it.)
+        assert len(current.applied) == 1
+        # The lifetime statistic survives aging.
+        assert server.status().applied_events == len(deltas)
+
+    def test_redelivery_before_compaction_still_hits_the_fence(self):
+        # Aging must never drop an id the log can still deliver: a
+        # post-commit crash leaves the event retained (uncommitted),
+        # so redelivery finds it fenced even at capacity=1.
+        plan = FaultPlan(seed=5).crash("stream:post-commit", index=1)
+        server, deltas = make_server(stream_plan=plan, capacity=1)
+        server.publish(deltas[0])
+        server.drain()
+        server.publish(deltas[1])
+        with pytest.raises(InjectedFault):
+            server.step()
+        server.fault_plan = None
+        assert [o.action for o in server.drain()] == ["skipped"]
+        server.publish(deltas[2])
+        server.drain()
+        assert server.versions.current.canonical_bytes() == REFERENCE

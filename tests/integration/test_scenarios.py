@@ -21,12 +21,17 @@ from repro.core.pipeline import (
     KnowledgeBaseConstructionPipeline,
     PipelineConfig,
 )
-from repro.obs.schema import validate_metrics
+from repro.serving.tenancy import TenantMixReport
+from repro.obs.schema import validate_metrics, validate_tenant_metrics
 from repro.synth.copying import CopyingConfig
 from repro.synth.drift import DriftConfig
+from repro.synth.tenants import TenantMixConfig
 
 DRIFT = DriftConfig(seed=7, n_items=24, n_sources=5, epochs=4)
 COPYING = CopyingConfig(seed=0, n_items=60, lag=1)
+TENANTS = TenantMixConfig(
+    n_tenants=3, seed=11, n_items=10, n_sources=4, parts=2, epochs=2
+)
 
 
 def _report_bytes(report):
@@ -159,3 +164,49 @@ class TestRunCopying:
         table = report.table()
         assert "correlation-aware" in table
         assert "suppressed" in table
+
+
+class TestRunTenants:
+    @pytest.fixture(scope="class")
+    def tenant_report(self):
+        pipeline = KnowledgeBaseConstructionPipeline(
+            PipelineConfig(tenants=TENANTS)
+        )
+        report = pipeline.run_tenants()
+        return pipeline, report
+
+    def test_report_shape(self, tenant_report):
+        _, report = tenant_report
+        assert isinstance(report, TenantMixReport)
+        assert report.tenants == TENANTS.n_tenants
+        assert report.rounds > 0
+        assert report.wall_seconds > 0
+        kinds = [row.kind for row in report.rows]
+        assert kinds == ["static", "drift", "copying"]
+        for row in report.rows:
+            assert row.published == row.deltas
+            assert row.halted is None
+            assert row.f1 > 0.5
+
+    def test_double_run_is_byte_identical(self, tenant_report):
+        _, first = tenant_report
+        second = KnowledgeBaseConstructionPipeline(
+            PipelineConfig(tenants=TENANTS)
+        ).run_tenants()
+        assert _report_bytes(first) == _report_bytes(second)
+
+    def test_metrics_are_tenant_labeled_and_schema_valid(
+        self, tenant_report
+    ):
+        pipeline, report = tenant_report
+        snapshot = pipeline.metrics.snapshot().to_json_dict()
+        assert validate_metrics(snapshot) == []
+        names = [row.name for row in report.rows]
+        assert validate_tenant_metrics(snapshot, names) == []
+        assert snapshot["counters"]["tenant_runs_total"] == 1
+
+    def test_table_renders(self, tenant_report):
+        _, report = tenant_report
+        table = report.table()
+        assert "tenant" in table
+        assert "tenant02" in table

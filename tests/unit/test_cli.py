@@ -298,3 +298,60 @@ class TestStorageFlags:
         assert doc["counters"]["storage_flushes_total"] >= 1
         assert doc["counters"]["incremental_deltas_total"] == 1
         assert doc["gauges"]["storage_segments"] >= 1
+
+
+class TestTenantsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["tenants"])
+        assert args.n_tenants == 3
+        assert args.seed == 7
+        assert args.kinds == "static,drift,copying"
+        assert args.checkpoint_root is None
+
+    def test_table_and_summary_printed(self, capsys):
+        main([
+            "tenants", "--tenants", "2", "--kinds", "static",
+            "--items", "8", "--sources", "3", "--parts", "2",
+        ])
+        out = capsys.readouterr().out
+        assert "tenant00" in out and "tenant01" in out
+        assert "2 tenants" in out
+
+    def test_json_export_is_deterministic(self, tmp_path, capsys):
+        documents = []
+        for run in range(2):
+            path = tmp_path / f"run{run}.json"
+            main([
+                "tenants", "--tenants", "2", "--kinds", "static",
+                "--items", "8", "--sources", "3", "--parts", "2",
+                "--json", str(path),
+            ])
+            documents.append(json.loads(path.read_text()))
+        assert documents[0] == documents[1]
+        rows = documents[0]["rows"]
+        assert [row["name"] for row in rows] == ["tenant00", "tenant01"]
+        assert all(row["halted"] is None for row in rows)
+
+    def test_metrics_out_carries_tenant_labels(self, tmp_path, capsys):
+        from repro.obs.schema import validate_tenant_metrics
+
+        path = tmp_path / "metrics.json"
+        main([
+            "tenants", "--tenants", "2", "--kinds", "static",
+            "--items", "8", "--sources", "3", "--parts", "2",
+            "--metrics-out", str(path),
+        ])
+        payload = json.loads(path.read_text())
+        assert validate_tenant_metrics(
+            payload, ["tenant00", "tenant01"]
+        ) == []
+
+    def test_checkpoint_root_gets_per_tenant_subdirs(self, tmp_path, capsys):
+        root = tmp_path / "ckpt"
+        main([
+            "tenants", "--tenants", "2", "--kinds", "static",
+            "--items", "8", "--sources", "3", "--parts", "2",
+            "--checkpoint-root", str(root),
+        ])
+        assert (root / "tenant00" / "incremental.ckpt").exists()
+        assert (root / "tenant01" / "incremental.ckpt").exists()

@@ -109,13 +109,29 @@ class TestTempFileHygiene:
         store.save("claims", {"x": 1})
         assert live.exists()
 
-    def test_clear_sweeps_every_orphan_unconditionally(self, tmp_path):
+    def test_clear_sweeps_own_and_stale_orphans(self, tmp_path):
         store = CheckpointStore(tmp_path, "fp-1")
         store.save("extraction", {"x": 1})
-        self._orphan(tmp_path, "claims.ckpt.999.3.tmp", age=0.0)
-        self._orphan(tmp_path, "extraction.ckpt.tmp")
+        # Own-pid temp: swept even when fresh (this process is not
+        # mid-save — it is the one calling clear).
+        own = tmp_path / f"claims.ckpt.{os.getpid()}.777.tmp"
+        own.write_bytes(b"half-written")
+        self._orphan(tmp_path, "extraction.ckpt.tmp")  # stale legacy
         assert store.clear() == 3
         assert list(tmp_path.iterdir()) == []
+
+    def test_clear_spares_a_sibling_stores_live_temp(self, tmp_path):
+        # Regression: two tenants share one checkpoint root.  Tenant
+        # B's store is mid-``save`` (fresh temp, foreign pid) when
+        # tenant A clears its checkpoints — the old unconditional
+        # sweep deleted B's in-flight temp and lost its checkpoint.
+        clearing = CheckpointStore(tmp_path, "fp-a")
+        clearing.save("extraction", {"x": 1})
+        live = self._orphan(tmp_path, "claims.ckpt.999.3.tmp", age=0.0)
+        legacy_live = self._orphan(tmp_path, "claims.ckpt.tmp", age=0.0)
+        assert clearing.clear() == 1  # only its own checkpoint file
+        assert live.exists()
+        assert legacy_live.exists()
 
     def test_temp_names_unique_across_stores_in_one_process(self, tmp_path):
         # Two stores sharing a directory must never mint the same temp

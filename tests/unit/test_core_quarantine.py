@@ -136,6 +136,39 @@ class TestDeadLetterHold:
         quarantine.divert("stream", "delta", reason="poison", retain=True)
         assert quarantine.to_dict()["held"] == {"stream": 1}
 
+    def test_drain_entries_keeps_reasons(self):
+        quarantine = Quarantine()
+        quarantine.divert("stream", "delta-a", reason="poison", retain=True)
+        quarantine.divert("stream", "delta-b", reason="worse", retain=True)
+        assert quarantine.drain_entries("stream") == [
+            ("poison", "delta-a"), ("worse", "delta-b"),
+        ]
+        assert quarantine.drain_entries("stream") == []
+
+    def test_repark_restores_order_without_recounting(self):
+        # A drain that could not complete (backpressure mid-requeue)
+        # re-parks its unprocessed tail; the entries must come back
+        # ahead of anything diverted meanwhile and must not be
+        # double-counted as new diversions.
+        quarantine = Quarantine()
+        quarantine.divert("stream", "delta-a", reason="poison", retain=True)
+        quarantine.divert("stream", "delta-b", reason="poison", retain=True)
+
+        entries = quarantine.drain_entries("stream")
+        quarantine.divert("stream", "delta-c", reason="poison", retain=True)
+        quarantine.repark("stream", entries[1:])  # delta-a was processed
+
+        assert [r for _s, _reason, r in quarantine.held_items("stream")] == [
+            "delta-b", "delta-c",
+        ]
+        assert quarantine.total == 3  # repark is not a new failure
+        assert quarantine.counts == {"stream": 3}
+
+    def test_repark_of_nothing_is_a_noop(self):
+        quarantine = Quarantine()
+        quarantine.repark("stream", [])
+        assert quarantine.held_items("stream") == []
+
 
 class TestGuardRecords:
     def test_valid_records_pass_through_in_order(self):

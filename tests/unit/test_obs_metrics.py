@@ -8,11 +8,13 @@ from repro.obs.metrics import (
     DEFAULT_COUNT_BUCKETS,
     DEFAULT_SECONDS_BUCKETS,
     HistogramSnapshot,
+    LabeledRegistry,
     MetricsRegistry,
     MetricsSnapshot,
     base_name,
     is_timing_metric,
     metric_key,
+    parse_key,
 )
 
 
@@ -199,3 +201,87 @@ class TestDeterministicSubset:
         registry.counter("alpha_total").inc()
         payload = registry.snapshot().to_json_dict()
         assert list(payload["counters"]) == ["alpha_total", "zeta_total"]
+
+
+class TestParseKey:
+    def test_round_trips_metric_key(self):
+        key = metric_key("stage_total", {"stage": "fusion", "a": 1})
+        name, labels = parse_key(key)
+        assert name == "stage_total"
+        assert labels == {"a": "1", "stage": "fusion"}
+        assert metric_key(name, labels) == key
+
+    def test_plain_name_has_no_labels(self):
+        assert parse_key("runs_total") == ("runs_total", {})
+
+
+class TestLabeledRegistry:
+    def test_writes_land_in_the_backing_registry(self):
+        registry = MetricsRegistry()
+        view = registry.labeled(tenant="t00")
+        assert isinstance(view, LabeledRegistry)
+        view.counter("stream_published_total").inc(2)
+        view.gauge("serving_version").set(3)
+        view.histogram("stream_apply_seconds").observe(0.1)
+        snapshot = registry.snapshot()
+        assert snapshot.counters[
+            "stream_published_total{tenant=t00}"
+        ] == 2
+        assert snapshot.gauges["serving_version{tenant=t00}"] == 3
+        assert "stream_apply_seconds{tenant=t00}" in snapshot.histograms
+
+    def test_fixed_labels_win_over_call_site_labels(self):
+        registry = MetricsRegistry()
+        view = registry.labeled(tenant="t00")
+        view.counter("claims_total", tenant="spoof", source="dom").inc()
+        assert registry.snapshot().counters == {
+            "claims_total{source=dom,tenant=t00}": 1
+        }
+
+    def test_views_nest(self):
+        registry = MetricsRegistry()
+        view = registry.labeled(tenant="t00").labeled(shard="3")
+        assert view.labels == {"shard": "3", "tenant": "t00"}
+        view.counter("rows_total").inc()
+        assert "rows_total{shard=3,tenant=t00}" in (
+            registry.snapshot().counters
+        )
+
+    def test_snapshot_delegates_to_the_shared_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("other_total").inc()
+        view = registry.labeled(tenant="t00")
+        view.counter("stream_published_total").inc()
+        assert "other_total" in view.snapshot().counters
+
+
+class TestLabelSubset:
+    def test_filters_every_section_by_label_pair(self):
+        registry = MetricsRegistry()
+        registry.labeled(tenant="a").counter("stream_total").inc(1)
+        registry.labeled(tenant="b").counter("stream_total").inc(5)
+        registry.labeled(tenant="a").gauge("serving_version").set(2)
+        registry.labeled(tenant="a").histogram("sizes").observe(1)
+        registry.counter("unlabeled_total").inc()
+        subset = registry.snapshot().label_subset(tenant="a")
+        assert subset.counters == {"stream_total{tenant=a}": 1}
+        assert subset.gauges == {"serving_version{tenant=a}": 2}
+        assert list(subset.histograms) == ["sizes{tenant=a}"]
+
+    def test_subset_requires_every_given_pair(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", tenant="a", shard="1").inc()
+        registry.counter("x_total", tenant="a", shard="2").inc()
+        subset = registry.snapshot().label_subset(tenant="a", shard="2")
+        assert list(subset.counters) == ["x_total{shard=2,tenant=a}"]
+
+    def test_subset_composes_with_deterministic_subset(self):
+        registry = MetricsRegistry()
+        view = registry.labeled(tenant="a")
+        view.counter("stream_total").inc()
+        view.histogram("stream_apply_seconds").observe(0.5)
+        subset = registry.snapshot().label_subset(
+            tenant="a"
+        ).deterministic_subset()
+        assert subset["counters"] == {"stream_total{tenant=a}": 1}
+        assert subset["histograms"] == {}

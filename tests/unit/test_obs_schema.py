@@ -2,7 +2,12 @@
 
 import json
 
-from repro.obs.schema import main, validate_metrics, validate_trace
+from repro.obs.schema import (
+    main,
+    validate_metrics,
+    validate_tenant_metrics,
+    validate_trace,
+)
 
 
 def good_metrics() -> dict:
@@ -122,3 +127,82 @@ class TestMain:
 
     def test_unreadable_file_is_a_problem_not_a_crash(self, tmp_path):
         assert main(["--metrics", str(tmp_path / "missing.json")]) == 1
+
+
+def tenant_metrics() -> dict:
+    return {
+        "counters": {
+            "stream_published_total{tenant=t00}": 3,
+            "stream_published_total{tenant=t01}": 3,
+            "runs_total": 1,
+        },
+        "gauges": {
+            "serving_version{tenant=t00}": 3,
+            "serving_version{tenant=t01}": 3,
+            "tenant_count": 2,
+        },
+        "histograms": {},
+    }
+
+
+class TestValidateTenantMetrics:
+    def test_fully_labeled_document_is_clean(self):
+        assert validate_tenant_metrics(
+            tenant_metrics(), ["t00", "t01"]
+        ) == []
+
+    def test_non_object_rejected(self):
+        assert validate_tenant_metrics([], ["t00"]) != []
+
+    def test_unlabeled_tenant_scoped_series_is_a_leak(self):
+        doc = tenant_metrics()
+        doc["counters"]["stream_published_total"] = 6
+        problems = validate_tenant_metrics(doc, ["t00", "t01"])
+        assert any("without a" in p for p in problems)
+
+    def test_unknown_tenant_label_is_reported(self):
+        doc = tenant_metrics()
+        doc["counters"]["serving_reads_total{tenant=ghost}"] = 1
+        problems = validate_tenant_metrics(doc, ["t00", "t01"])
+        assert any("unknown tenant 'ghost'" in p for p in problems)
+
+    def test_silent_tenant_is_reported(self):
+        problems = validate_tenant_metrics(
+            tenant_metrics(), ["t00", "t01", "t02"]
+        )
+        assert any(
+            "t02" in p and "serving_version" in p for p in problems
+        )
+
+    def test_unscoped_series_need_no_label(self):
+        doc = {
+            "counters": {"runs_total": 1},
+            "gauges": {"serving_version{tenant=t00}": 1},
+            "histograms": {},
+        }
+        assert validate_tenant_metrics(doc, ["t00"]) == []
+
+
+class TestMainTenants:
+    def test_valid_tenant_file_exits_zero(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        metrics.write_text(json.dumps(tenant_metrics()))
+        code = main(["--metrics", str(metrics), "--tenants", "t00,t01"])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_missing_label_fails(self, tmp_path, capsys):
+        doc = tenant_metrics()
+        del doc["gauges"]["serving_version{tenant=t01}"]
+        metrics = tmp_path / "m.json"
+        metrics.write_text(json.dumps(doc))
+        assert main(
+            ["--metrics", str(metrics), "--tenants", "t00,t01"]
+        ) == 1
+        assert "t01" in capsys.readouterr().err
+
+    def test_tenants_flag_requires_metrics(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["--tenants", "t00"])

@@ -147,3 +147,121 @@ class TestBackpressure:
         log.append(delta(value="a"))
         with pytest.raises(BackpressureError):
             log.append(delta(value="b"))
+
+
+class TestUnregister:
+    def test_unregister_unknown_group_raises(self):
+        log = EventLog()
+        with pytest.raises(ServingError, match="unknown consumer group"):
+            log.unregister("ghost")
+
+    def test_dead_group_unwedges_append(self):
+        # Regression: a decommissioned consumer group that is never
+        # unregistered clamps slowest_committed() forever; once it lags
+        # `capacity` events every publish rejects even though the live
+        # consumers are fully caught up.
+        log = EventLog(capacity=2)
+        log.register("dead", offset=0)
+        log.register("live", offset=0)
+        log.append(delta(value="v1"))
+        log.append(delta(value="v2"))
+        log.commit_offset("live", 2)  # live fully caught up
+
+        with pytest.raises(BackpressureError):
+            log.append(delta(value="v3"))  # wedged by the dead group
+
+        log.unregister("dead")
+        event = log.append(delta(value="v3"))  # unwedged
+        assert event.offset == 2
+        assert log.lag("live") == 1
+
+    def test_unregister_releases_the_compaction_bound_too(self):
+        log = EventLog(capacity=8)
+        log.register("dead", offset=0)
+        log.register("live", offset=0)
+        for i in range(4):
+            log.append(delta(value=f"v{i}"))
+        log.commit_offset("live", 4)
+        assert log.base == 0  # dead group pins the committed prefix
+        log.unregister("dead")
+        log.commit_offset("live", 4)  # no-op commit triggers compaction
+        assert log.base == 4
+
+
+class TestCompaction:
+    def fill(self, log, n, *, start=0):
+        return [log.append(delta(value=f"v{start + i}")) for i in range(n)]
+
+    def test_committed_prefix_compacts_behind_logical_offsets(self):
+        metrics = MetricsRegistry()
+        log = EventLog(capacity=1024, metrics=metrics)
+        log.register("g", offset=0)
+        self.fill(log, 4)
+        log.commit_offset("g", 3)
+
+        assert log.base == 3  # 3 droppable of 4 buffered -> compacted
+        assert log.head == 4  # logical offsets unaffected
+        assert log.lag("g") == 1
+        assert log.read(3).offset == 3  # retained suffix readable
+        assert metrics.counter("stream_compacted_total").value == 3
+
+    def test_read_below_base_raises_like_never_written(self):
+        log = EventLog()
+        log.register("g", offset=0)
+        self.fill(log, 4)
+        log.commit_offset("g", 4)
+        assert log.base == 4
+        for offset in (0, 3, 4):
+            with pytest.raises(ServingError, match="out of range"):
+                log.read(offset)
+
+    def test_compaction_waits_for_the_slowest_group(self):
+        log = EventLog()
+        log.register("fast", offset=0)
+        log.register("slow", offset=0)
+        self.fill(log, 4)
+        log.commit_offset("fast", 4)
+        assert log.base == 0  # slow still needs offset 0
+        log.commit_offset("slow", 2)
+        assert log.base == 2  # now only the uncommitted suffix is held
+
+    def test_groupless_log_never_compacts(self):
+        log = EventLog()
+        self.fill(log, 4)
+        assert log.compact() == 0
+        assert log.base == 0
+
+    def test_has_id_tracks_retained_occurrences(self):
+        log = EventLog()
+        log.register("g", offset=0)
+        first = log.append(delta(value="dup"))
+        log.append(delta(value="dup"))  # same content id, second offset
+        log.append(delta(value="other"))
+        assert log.has_id(first.event_id)
+
+        log.commit_offset("g", 1)
+        log.compact()  # drops one of the two occurrences
+        assert log.has_id(first.event_id)  # one occurrence retained
+
+        log.commit_offset("g", 3)
+        assert log.base == 3
+        assert not log.has_id(first.event_id)  # every occurrence gone
+
+    def test_register_below_base_is_rejected(self):
+        log = EventLog()
+        log.register("g", offset=0)
+        self.fill(log, 4)
+        log.commit_offset("g", 4)
+        assert log.base == 4
+        with pytest.raises(ServingError, match="retains"):
+            log.register("late", offset=2)
+
+    def test_slowest_committed_is_base_when_groupless(self):
+        # Regression: the docstring used to promise "head if none"
+        # while the code returned 0; the contract is the log's base.
+        log = EventLog()
+        log.register("g", offset=0)
+        self.fill(log, 4)
+        log.commit_offset("g", 4)
+        log.unregister("g")
+        assert log.slowest_committed() == log.base == 4

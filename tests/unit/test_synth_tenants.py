@@ -1,0 +1,118 @@
+"""Unit tests for the multi-tenant workload mix generators."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.synth.tenants import (
+    TENANT_KINDS,
+    TenantMixConfig,
+    TenantSpec,
+    build_tenant_workload,
+)
+
+
+class TestTenantSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(GenerationError, match="unknown tenant kind"):
+            TenantSpec(name="t", kind="weird").validate()
+
+    def test_rejects_empty_and_reserved_names(self):
+        with pytest.raises(GenerationError, match="non-empty"):
+            TenantSpec(name="").validate()
+        for bad in ("a{b", "a,b", "a=b", "a b"):
+            with pytest.raises(GenerationError, match="reserved"):
+                TenantSpec(name=bad).validate()
+
+    def test_rejects_nonpositive_shape(self):
+        with pytest.raises(GenerationError):
+            TenantSpec(name="t", n_items=0).validate()
+        with pytest.raises(GenerationError):
+            TenantSpec(name="t", parts=0).validate()
+        with pytest.raises(GenerationError):
+            TenantSpec(name="t", epochs=0).validate()
+
+
+class TestBuildWorkload:
+    @pytest.mark.parametrize("kind", TENANT_KINDS)
+    def test_every_kind_yields_base_deltas_and_truth(self, kind):
+        workload = build_tenant_workload(
+            TenantSpec(name="t", kind=kind, seed=11)
+        )
+        assert workload.base
+        assert workload.deltas
+        assert workload.truth
+        assert (workload.drift_world is not None) == (kind == "drift")
+        assert (workload.copying_world is not None) == (kind == "copying")
+
+    @pytest.mark.parametrize("kind", TENANT_KINDS)
+    def test_same_spec_builds_identical_workloads(self, kind):
+        spec = TenantSpec(name="t", kind=kind, seed=23)
+        first = build_tenant_workload(spec)
+        second = build_tenant_workload(spec)
+        assert [repr(t) for t in first.base] == [
+            repr(t) for t in second.base
+        ]
+        assert [repr(d.added) + repr(d.retracted) for d in first.deltas] == [
+            repr(d.added) + repr(d.retracted) for d in second.deltas
+        ]
+        assert first.truth == second.truth
+
+    def test_seeds_separate_worlds(self):
+        # Static truth is seed-independent by design; the seed shows up
+        # in which sources err, i.e. in the claim stream itself.
+        one = build_tenant_workload(TenantSpec(name="a", seed=1))
+        two = build_tenant_workload(TenantSpec(name="b", seed=2))
+        assert [repr(t) for t in one.base] != [repr(t) for t in two.base]
+
+    def test_drift_truth_is_the_final_epoch(self):
+        workload = build_tenant_workload(
+            TenantSpec(name="t", kind="drift", seed=3, epochs=4)
+        )
+        world = workload.drift_world
+        assert len(workload.deltas) == 4
+        assert workload.truth == world.truth_at(4)
+        assert workload.truth != world.truth_at(0)
+
+
+class TestTenantMixConfig:
+    def test_derived_fleet_cycles_kinds_and_spreads_seeds(self):
+        mix = TenantMixConfig(n_tenants=5, seed=10, kinds=("static", "drift"))
+        specs = mix.specs()
+        assert [spec.name for spec in specs] == [
+            "tenant00", "tenant01", "tenant02", "tenant03", "tenant04",
+        ]
+        assert [spec.kind for spec in specs] == [
+            "static", "drift", "static", "drift", "static",
+        ]
+        assert len({spec.seed for spec in specs}) == 5
+
+    def test_derivation_is_pure(self):
+        mix = TenantMixConfig(n_tenants=4, seed=9)
+        assert [repr(s) for s in mix.specs()] == [
+            repr(s) for s in mix.specs()
+        ]
+
+    def test_explicit_tenants_are_used_verbatim(self):
+        specs = [
+            TenantSpec(name="alpha", seed=1),
+            TenantSpec(name="beta", kind="drift", seed=2),
+        ]
+        mix = TenantMixConfig(tenants=specs)
+        assert mix.specs() == specs
+
+    def test_duplicate_names_rejected(self):
+        mix = TenantMixConfig(
+            tenants=[TenantSpec(name="a"), TenantSpec(name="a")]
+        )
+        with pytest.raises(GenerationError, match="duplicate"):
+            mix.specs()
+
+    def test_empty_or_bad_mix_rejected(self):
+        with pytest.raises(GenerationError):
+            TenantMixConfig(n_tenants=0).specs()
+        with pytest.raises(GenerationError):
+            TenantMixConfig(kinds=()).specs()
+        with pytest.raises(GenerationError):
+            TenantMixConfig(kinds=("weird",)).specs()
+        with pytest.raises(GenerationError):
+            TenantMixConfig(tenants=[]).specs()
